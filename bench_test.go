@@ -1,0 +1,154 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment through
+// internal/bench and reports its headline numbers as custom metrics, so the
+// output of
+//
+//	go test -bench=. -benchmem
+//
+// is a machine-readable form of the paper's results. Experiment tables are
+// logged with -v. Runs share a process-wide harness cache, so the suite
+// costs one simulation per distinct configuration regardless of b.N.
+//
+// Scale defaults to the quick configuration (16 cores, shortened windows);
+// set DNC_BENCH_SCALE=paper for the paper-scale 200K+200K methodology.
+package main
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dnc/internal/bench"
+)
+
+var (
+	harnessOnce sync.Once
+	harness     *bench.Harness
+)
+
+func sharedHarness() *bench.Harness {
+	harnessOnce.Do(func() {
+		cfg := bench.Quick()
+		if os.Getenv("DNC_BENCH_SCALE") == "paper" {
+			cfg = bench.Paper()
+		}
+		harness = bench.New(cfg)
+	})
+	return harness
+}
+
+// runExperiment executes the experiment once per benchmark iteration (the
+// harness cache makes repeats free) and reports its headline metrics.
+func runExperiment(b *testing.B, f func(*bench.Harness) bench.Experiment) {
+	b.Helper()
+	h := sharedHarness()
+	var e bench.Experiment
+	for i := 0; i < b.N; i++ {
+		e = f(h)
+	}
+	keys := make([]string, 0, len(e.Headline))
+	for k := range e.Headline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		// Benchmark metric units must not contain whitespace.
+		unit := strings.ReplaceAll(k, " ", "-")
+		b.ReportMetric(e.Headline[k], unit)
+	}
+	b.Log("\n" + e.Title + "\n" + e.PaperNote + "\n" + e.Table.String())
+}
+
+func BenchmarkFig01FootprintMissRatio(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig01)
+}
+
+func BenchmarkTable1EmptyFTQStalls(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Table1)
+}
+
+func BenchmarkFig02SequentialMissFraction(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig02)
+}
+
+func BenchmarkFig03NLSeqCoverage(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig03)
+}
+
+func BenchmarkFig04CMALSequentialDepth(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig04)
+}
+
+func BenchmarkFig05UselessPrefetchSideEffects(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig05)
+}
+
+func BenchmarkFig06NextBlockPredictability(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig06)
+}
+
+func BenchmarkFig07DiscontinuityPredictability(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig07)
+}
+
+func BenchmarkFig08BranchesPerBlock(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig08)
+}
+
+func BenchmarkFig09BFsPerSet(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig09)
+}
+
+func BenchmarkTable2StorageComparison(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Table2)
+}
+
+func BenchmarkFig11TableSizeSweep(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig11)
+}
+
+func BenchmarkFig12TaggingPolicy(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig12)
+}
+
+func BenchmarkFig13CMALProposed(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig13)
+}
+
+func BenchmarkFig14CacheLookups(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig14)
+}
+
+func BenchmarkFig15FSCR(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig15)
+}
+
+func BenchmarkFig16Speedup(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig16)
+}
+
+func BenchmarkFig17Breakdown(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig17)
+}
+
+func BenchmarkFig18BTBSizeSweep(b *testing.B) {
+	runExperiment(b, (*bench.Harness).Fig18)
+}
+
+func BenchmarkSecJDVLLC(b *testing.B) {
+	runExperiment(b, (*bench.Harness).SecJ)
+}
+
+func BenchmarkAblationChainDepth(b *testing.B) {
+	runExperiment(b, (*bench.Harness).AblationDepth)
+}
+
+func BenchmarkAblationRLUSize(b *testing.B) {
+	runExperiment(b, (*bench.Harness).AblationRLU)
+}
+
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	runExperiment(b, (*bench.Harness).AblationQueueDepth)
+}

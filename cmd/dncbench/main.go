@@ -1,0 +1,84 @@
+// Command dncbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dncbench [-scale quick|paper] [-workloads a,b,c] [-only fig16,fig17] [-ablations]
+//
+// Each experiment prints the paper's expected result alongside the
+// measured rows, mirroring EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dnc/internal/bench"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick (16 cores, short windows) or paper (16 cores, 200K+200K)")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all); see -list")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload names (default: all seven)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	ablations := flag.Bool("ablations", false, "also run the extra ablation sweeps")
+	samples := flag.Int("samples", 1, "independently seeded samples pooled per configuration")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var cfg bench.Config
+	switch *scale {
+	case "quick":
+		cfg = bench.Quick()
+	case "paper":
+		cfg = bench.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "dncbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *workloadsFlag != "" {
+		cfg.Workloads = strings.Split(*workloadsFlag, ",")
+	}
+	cfg.Samples = *samples
+	h := bench.New(cfg)
+
+	ids := bench.IDs()
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		e, ok := h.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dncbench: unknown experiment %q (see -list)\n", id)
+			os.Exit(2)
+		}
+		printExperiment(e, time.Since(start))
+	}
+	if *ablations {
+		for _, e := range h.Ablations() {
+			printExperiment(e, 0)
+		}
+	}
+}
+
+func printExperiment(e bench.Experiment, d time.Duration) {
+	fmt.Printf("== %s: %s\n", e.ID, e.Title)
+	if e.PaperNote != "" {
+		fmt.Printf("   (%s)\n", e.PaperNote)
+	}
+	fmt.Println(e.Table.String())
+	if d > 0 {
+		fmt.Printf("   [%.1fs]\n", d.Seconds())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,156 @@
+// Command dncsim runs one simulation: a workload under a frontend design,
+// printing the measured frontend statistics and, when a baseline comparison
+// is requested, the derived coverage/FSCR/speedup metrics.
+//
+// Usage:
+//
+//	dncsim -workload Web-Zeus -design SN4L+Dis+BTB [-cores 16] [-warm 200000] [-measure 200000] [-mode fixed|variable] [-baseline]
+//
+// With -trace FILE the cores replay a recorded trace of the workload
+// (cmd/tracegen) instead of walking it live.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dnc/internal/core"
+	"dnc/internal/isa"
+	"dnc/internal/prefetch"
+	"dnc/internal/sim"
+	"dnc/internal/workloads"
+)
+
+// designs maps CLI names to constructors plus per-design core options.
+var designs = map[string]struct {
+	nd  func() prefetch.Design
+	pfb int
+}{
+	"baseline": {func() prefetch.Design { return prefetch.NewBaseline(2048) }, 0},
+	"NL":       {func() prefetch.Design { return prefetch.NewNXL(1, 2048) }, 0},
+	"N2L":      {func() prefetch.Design { return prefetch.NewNXL(2, 2048) }, 0},
+	"N4L":      {func() prefetch.Design { return prefetch.NewNXL(4, 2048) }, 0},
+	"N8L":      {func() prefetch.Design { return prefetch.NewNXL(8, 2048) }, 0},
+	"SN4L":     {func() prefetch.Design { return prefetch.NewSN4L(16<<10, 2048) }, 0},
+	"Dis":      {func() prefetch.Design { return prefetch.NewDis(4<<10, 4, 2048) }, 0},
+	"SN4L+Dis": {func() prefetch.Design {
+		return prefetch.NewProactive(prefetch.DefaultProactiveConfig())
+	}, 0},
+	"SN4L+Dis+BTB": {func() prefetch.Design {
+		c := prefetch.DefaultProactiveConfig()
+		c.WithBTBPrefetch = true
+		return prefetch.NewProactive(c)
+	}, 0},
+	"NL-miss":       {func() prefetch.Design { return prefetch.NewNXLTriggered(1, 2048, prefetch.TriggerMiss) }, 0},
+	"NL-tagged":     {func() prefetch.Design { return prefetch.NewNXLTriggered(1, 2048, prefetch.TriggerTagged) }, 0},
+	"RDIP":          {func() prefetch.Design { return prefetch.NewRDIP(1024, 2048) }, 0},
+	"PIF":           {func() prefetch.Design { return prefetch.NewPIF(prefetch.DefaultPIFConfig()) }, 0},
+	"discontinuity": {func() prefetch.Design { return prefetch.NewDiscontinuity(8<<10, 8, 2048) }, 0},
+	"confluence":    {func() prefetch.Design { return prefetch.NewConfluence(prefetch.DefaultConfluenceConfig()) }, 0},
+	"boomerang":     {func() prefetch.Design { return prefetch.NewBoomerang(prefetch.DefaultBoomerangConfig()) }, 0},
+	"shotgun":       {func() prefetch.Design { return prefetch.NewShotgun(prefetch.DefaultShotgunDesignConfig()) }, 64},
+}
+
+func main() {
+	workload := flag.String("workload", "Web-Zeus", "workload name (see -listworkloads)")
+	design := flag.String("design", "SN4L+Dis+BTB", "frontend design (see -listdesigns)")
+	cores := flag.Int("cores", 16, "active cores on the 4x4 mesh")
+	warm := flag.Uint64("warm", 200_000, "warm-up cycles")
+	measure := flag.Uint64("measure", 200_000, "measurement cycles")
+	seed := flag.Int64("seed", 1, "sample seed")
+	mode := flag.String("mode", "fixed", "ISA mode: fixed or variable")
+	baseline := flag.Bool("baseline", false, "also run the no-prefetch baseline and report derived metrics")
+	tracePath := flag.String("trace", "", "replay a recorded trace of the workload instead of walking it live")
+	listD := flag.Bool("listdesigns", false, "list design names and exit")
+	listW := flag.Bool("listworkloads", false, "list workload names and exit")
+	flag.Parse()
+
+	if *listD {
+		names := make([]string, 0, len(designs))
+		for n := range designs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *listW {
+		for _, n := range workloads.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	d, ok := designs[*design]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dncsim: unknown design %q (see -listdesigns)\n", *design)
+		os.Exit(2)
+	}
+	m := isa.Fixed
+	if *mode == "variable" {
+		m = isa.Variable
+	}
+
+	cc := core.DefaultConfig()
+	cc.PrefetchBufferEntries = d.pfb
+	rc := sim.RunConfig{
+		Workload:      workloads.Params(*workload, m),
+		NewDesign:     d.nd,
+		Cores:         *cores,
+		WarmCycles:    *warm,
+		MeasureCycles: *measure,
+		Seed:          *seed,
+		Core:          cc,
+	}
+	runOne := func(rc sim.RunConfig) sim.Result {
+		if *tracePath != "" {
+			r, err := sim.RunTrace(rc, *tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dncsim: %v\n", err)
+				os.Exit(1)
+			}
+			return r
+		}
+		return sim.Run(rc)
+	}
+	r := runOne(rc)
+	report(r)
+
+	if *baseline && *design != "baseline" {
+		rc.NewDesign = designs["baseline"].nd
+		rc.Core.PrefetchBufferEntries = 0
+		base := runOne(rc)
+		fmt.Println()
+		fmt.Printf("derived vs baseline (IPC %.3f):\n", base.M.IPC())
+		fmt.Printf("  speedup            %.3f\n", sim.Speedup(r, base))
+		fmt.Printf("  miss coverage      %.1f%%\n", 100*sim.MissCoverage(r, base))
+		fmt.Printf("  seq miss coverage  %.1f%%\n", 100*sim.SeqMissCoverage(r, base))
+		fmt.Printf("  FSCR               %.1f%%\n", 100*sim.FSCR(r, base))
+		fmt.Printf("  bandwidth ratio    %.2fx\n", sim.BandwidthRatio(r, base))
+		fmt.Printf("  cache lookup ratio %.2fx\n", sim.LookupRatio(r, base))
+	}
+}
+
+func report(r sim.Result) {
+	m := &r.M
+	fmt.Printf("%s on %s (%d cores)\n", r.Design, r.Workload, len(r.PerCore))
+	fmt.Printf("  IPC                %.3f\n", m.IPC())
+	fmt.Printf("  L1i miss MPKI      %.1f (seq %.0f%%, late %d)\n",
+		m.MPKI(m.DemandMisses), 100*m.SeqMissFraction(), m.LateMisses)
+	fmt.Printf("  branch MPKI        %.1f mispredict, %.1f BTB-miss\n",
+		m.MPKI(m.Mispredicts), m.MPKI(m.BTBMissEvents))
+	fmt.Printf("  prefetches         %d issued, %d useful, %d evicted unused\n",
+		m.PrefetchesIssued, m.UsefulPrefetches, m.UselessEvicts)
+	fmt.Printf("  CMAL               %.1f%%\n", 100*m.CMAL())
+	fmt.Printf("  avg LLC latency    %.1f cycles\n", m.AvgLLCLatency())
+	total := float64(m.Cycles)
+	fmt.Printf("  stall cycles       icache %.1f%%, ftq %.1f%%, btb %.1f%%, mispredict %.1f%%, backend %.1f%%\n",
+		100*float64(m.StallICache)/total, 100*float64(m.StallFTQ)/total,
+		100*float64(m.StallBTB)/total, 100*float64(m.StallMispred)/total,
+		100*float64(m.StallBackend)/total)
+	fmt.Printf("  design storage     %.1f KB\n", float64(r.StorageBits)/8/1024)
+}

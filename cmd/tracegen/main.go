@@ -1,0 +1,67 @@
+// Command tracegen writes a committed-instruction trace of a synthetic
+// server workload in the compact binary format of internal/trace.
+//
+// Usage:
+//
+//	tracegen -workload OLTP-DB-A -n 10000000 -o dba.dnct [-mode fixed|variable] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	wl "dnc/internal/cfg"
+	"dnc/internal/isa"
+	"dnc/internal/sim"
+	"dnc/internal/trace"
+	"dnc/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "Web-Zeus", "workload name")
+	n := flag.Uint64("n", 10_000_000, "instructions to emit")
+	out := flag.String("o", "", "output path (default <workload>.dnct)")
+	seed := flag.Int64("seed", 1, "walker seed")
+	mode := flag.String("mode", "fixed", "ISA mode: fixed or variable")
+	flag.Parse()
+
+	m := isa.Fixed
+	if *mode == "variable" {
+		m = isa.Variable
+	}
+	path := *out
+	if path == "" {
+		path = *workload + ".dnct"
+	}
+
+	prog := sim.Program(workloads.Params(*workload, m))
+	walker := wl.NewWalker(prog, *seed)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	var s wl.Step
+	for i := uint64(0); i < *n; i++ {
+		walker.Next(&s)
+		if err := w.Write(trace.FromStep(&s)); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: write: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: flush: %v\n", err)
+		os.Exit(1)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("wrote %d records (%.1f MB, %.2f bytes/inst) to %s\n",
+		w.Count(), float64(info.Size())/1e6, float64(info.Size())/float64(w.Count()), path)
+}

@@ -1,0 +1,43 @@
+// Compare every implemented frontend design on one workload: the sequential
+// family (NL..N8L), the paper's SN4L / SN4L+Dis / SN4L+Dis+BTB line, and
+// the prior-work competitors (conventional discontinuity, Confluence,
+// Boomerang, Shotgun).
+//
+//	go run ./examples/compare_prefetchers [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dnc/pkg/dncfront"
+)
+
+func main() {
+	workload := "OLTP-DB-A"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+	params := dncfront.Workload(workload)
+	opts := dncfront.Options{Cores: 8, WarmCycles: 100_000, MeasureCycles: 80_000}
+
+	designs := []string{
+		"NL", "N2L", "N4L", "N8L",
+		"SN4L", "SN4L+Dis", "SN4L+Dis+BTB",
+		"discontinuity", "confluence", "boomerang", "shotgun",
+	}
+
+	fmt.Printf("workload %s (%d cores)\n", workload, opts.Cores)
+	fmt.Printf("%-14s %8s %9s %6s %6s %9s\n",
+		"design", "speedup", "coverage", "FSCR", "CMAL", "bandwidth")
+	for _, d := range designs {
+		c, err := dncfront.Compare(params, d, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %7.2fx %8.0f%% %5.0f%% %5.0f%% %8.2fx\n",
+			d, c.Speedup, 100*c.MissCoverage, 100*c.FSCR,
+			100*c.Result.M.CMAL(), c.BandwidthRatio)
+	}
+}

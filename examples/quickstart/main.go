@@ -1,0 +1,39 @@
+// Quickstart: simulate one server workload under the paper's SN4L+Dis+BTB
+// prefetcher and print what it buys over a machine with no instruction/BTB
+// prefetcher.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dnc/pkg/dncfront"
+)
+
+func main() {
+	// Pick one of the seven calibrated server workloads.
+	params := dncfront.Workload("Web-Zeus")
+
+	// Keep the example fast: 4 cores and short windows. Drop Options{} to
+	// get the paper's 16-core, 200K+200K methodology.
+	opts := dncfront.Options{Cores: 4, WarmCycles: 80_000, MeasureCycles: 80_000}
+
+	cmp, err := dncfront.Compare(params, "SN4L+Dis+BTB", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := cmp.Result.M
+	fmt.Printf("workload %s, design %s\n", cmp.Result.Workload, cmp.Result.Design)
+	fmt.Printf("  baseline IPC        %.3f\n", cmp.Baseline.M.IPC())
+	fmt.Printf("  prefetcher IPC      %.3f  (speedup %.2fx)\n", m.IPC(), cmp.Speedup)
+	fmt.Printf("  L1i miss MPKI       %.1f -> %.1f  (coverage %.0f%%)\n",
+		cmp.Baseline.M.MPKI(cmp.Baseline.M.DemandMisses),
+		m.MPKI(m.DemandMisses), 100*cmp.MissCoverage)
+	fmt.Printf("  frontend stalls cut %.0f%% (FSCR)\n", 100*cmp.FSCR)
+	fmt.Printf("  CMAL                %.0f%%\n", 100*m.CMAL())
+	fmt.Printf("  metadata storage    %.1f KB per core\n",
+		float64(cmp.Result.StorageBits)/8/1024)
+}

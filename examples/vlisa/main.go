@@ -1,0 +1,47 @@
+// Variable-length ISA mode: run a workload under the 2-10 byte encoding,
+// where pre-decoding needs the per-block branch footprints that the DV-LLC
+// virtualizes (the paper's Section V.D), and show the DV-LLC's cost is
+// negligible (Section VII.J).
+//
+//	go run ./examples/vlisa
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dnc/pkg/dncfront"
+)
+
+func main() {
+	params := dncfront.Workload("Web-Zeus")
+	params.Mode = dncfront.VariableLength // switches the encoding and enables the DV-LLC
+
+	opts := dncfront.Options{Cores: 4, WarmCycles: 80_000, MeasureCycles: 80_000}
+	cmp, err := dncfront.Compare(params, "SN4L+Dis+BTB", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("variable-length ISA on %s\n", cmp.Result.Workload)
+	fmt.Printf("  speedup over baseline  %.2fx\n", cmp.Speedup)
+	fmt.Printf("  FSCR                   %.0f%%\n", 100*cmp.FSCR)
+
+	s := cmp.Result.LLCStats
+	fmt.Printf("\nDV-LLC branch-footprint virtualization:\n")
+	fmt.Printf("  BF-holder transitions  %d sets\n", s.BFTransitions)
+	fmt.Printf("  footprints stored      %d (%d failed)\n", s.BFStores-s.BFStoreFails, s.BFStoreFails)
+	fmt.Printf("  footprint loads        %d (%.1f%% hit)\n",
+		s.BFLoads, 100*float64(s.BFLoadHits)/float64(max(s.BFLoads, 1)))
+	instHit := float64(s.InstHits) / float64(max(s.InstAccesses, 1))
+	dataHit := float64(s.DataHits) / float64(max(s.DataAccesses, 1))
+	fmt.Printf("  LLC hit ratios         instruction %.1f%%, data %.1f%%\n",
+		100*instHit, 100*dataHit)
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

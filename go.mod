@@ -1,0 +1,3 @@
+module dnc
+
+go 1.22

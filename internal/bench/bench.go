@@ -1,0 +1,192 @@
+// Package bench implements the paper's evaluation: one function per table
+// and figure, each regenerating the corresponding rows/series from
+// simulation. The benchmark harness (bench_test.go) and the dncbench
+// command both drive this package.
+//
+// Runs are cached inside a Harness keyed by (workload, design, options), so
+// experiments that share configurations (the baseline above all) pay for
+// them once.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"dnc/internal/core"
+	"dnc/internal/isa"
+	"dnc/internal/llc"
+	"dnc/internal/prefetch"
+	"dnc/internal/sim"
+	"dnc/internal/workloads"
+)
+
+// Config scales the experiments.
+type Config struct {
+	Cores         int
+	WarmCycles    uint64
+	MeasureCycles uint64
+	// Workloads restricts the workload set (nil = all seven).
+	Workloads []string
+	Seed      int64
+	// Samples pools this many independently seeded runs per configuration
+	// (the SimFlex-style sampling of the paper's methodology). Default 1.
+	Samples int
+}
+
+// Quick returns a reduced configuration for fast iteration and the default
+// benchmark run: the paper's 16-core CMP (shared-fabric contention needs
+// all tiles) with shortened warm-up and measurement windows.
+func Quick() Config {
+	return Config{Cores: 16, WarmCycles: 100_000, MeasureCycles: 80_000, Seed: 1}
+}
+
+// Paper returns the paper-scale configuration: 16 cores, 200K warm-up and
+// 200K measurement cycles.
+func Paper() Config {
+	return Config{Cores: 16, WarmCycles: 200_000, MeasureCycles: 200_000, Seed: 1}
+}
+
+// Harness caches simulation runs across experiments.
+type Harness struct {
+	cfg   Config
+	mu    sync.Mutex
+	cache map[string]sim.Result
+}
+
+// New returns a harness for the configuration.
+func New(cfg Config) *Harness {
+	if cfg.Cores == 0 {
+		cfg = Quick()
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = workloads.Names
+	}
+	return &Harness{cfg: cfg, cache: make(map[string]sim.Result)}
+}
+
+// Config returns the harness configuration.
+func (h *Harness) Config() Config { return h.cfg }
+
+// Workloads returns the active workload names.
+func (h *Harness) Workloads() []string { return h.cfg.Workloads }
+
+// runOpts adjusts a run beyond the design choice.
+type runOpts struct {
+	pfbEntries int
+	perfectL1i bool
+	perfectBTB bool
+	mode       isa.Mode
+	llcCfg     *llc.Config
+}
+
+// run executes (or returns the cached) simulation of one workload/design.
+func (h *Harness) run(workload, key string, nd func() prefetch.Design, o runOpts) sim.Result {
+	ck := fmt.Sprintf("%s|%s|%+v", workload, key, o)
+	h.mu.Lock()
+	if r, ok := h.cache[ck]; ok {
+		h.mu.Unlock()
+		return r
+	}
+	h.mu.Unlock()
+
+	cc := core.DefaultConfig()
+	cc.PrefetchBufferEntries = o.pfbEntries
+	cc.PerfectL1i = o.perfectL1i
+	cc.PerfectBTB = o.perfectBTB
+	rc := sim.RunConfig{
+		Workload:      workloads.Params(workload, o.mode),
+		NewDesign:     nd,
+		Cores:         h.cfg.Cores,
+		WarmCycles:    h.cfg.WarmCycles,
+		MeasureCycles: h.cfg.MeasureCycles,
+		Seed:          h.cfg.Seed,
+		Core:          cc,
+	}
+	if o.llcCfg != nil {
+		rc.LLC = *o.llcCfg
+	}
+	samples := h.cfg.Samples
+	if samples < 1 {
+		samples = 1
+	}
+	r := sim.Run(rc)
+	for s := 1; s < samples; s++ {
+		rc.Seed = h.cfg.Seed + int64(s)*7919
+		extra := sim.Run(rc)
+		// Pool the independently seeded samples: counters add, so every
+		// derived ratio becomes the pooled estimate.
+		r.M.Add(&extra.M)
+		r.PerCore = append(r.PerCore, extra.PerCore...)
+	}
+	h.mu.Lock()
+	h.cache[ck] = r
+	h.mu.Unlock()
+	return r
+}
+
+// Canonical design constructors.
+
+func newBaseline() prefetch.Design { return prefetch.NewBaseline(2048) }
+
+func newNXL(depth int) func() prefetch.Design {
+	return func() prefetch.Design { return prefetch.NewNXL(depth, 2048) }
+}
+
+func newSN4L() prefetch.Design { return prefetch.NewSN4L(16<<10, 2048) }
+
+func newDis() prefetch.Design { return prefetch.NewDis(4<<10, 4, 2048) }
+
+func newSN4LDis() prefetch.Design {
+	return prefetch.NewProactive(prefetch.DefaultProactiveConfig())
+}
+
+func newFull() prefetch.Design {
+	c := prefetch.DefaultProactiveConfig()
+	c.WithBTBPrefetch = true
+	return prefetch.NewProactive(c)
+}
+
+func newConfluence() prefetch.Design {
+	return prefetch.NewConfluence(prefetch.DefaultConfluenceConfig())
+}
+
+func newBoomerang() prefetch.Design {
+	return prefetch.NewBoomerang(prefetch.DefaultBoomerangConfig())
+}
+
+func newShotgun() prefetch.Design {
+	return prefetch.NewShotgun(prefetch.DefaultShotgunDesignConfig())
+}
+
+// Baseline returns the cached no-prefetch run of a workload.
+func (h *Harness) Baseline(workload string) sim.Result {
+	return h.run(workload, "baseline", newBaseline, runOpts{})
+}
+
+// Full returns the cached SN4L+Dis+BTB run of a workload.
+func (h *Harness) Full(workload string) sim.Result {
+	return h.run(workload, "full", newFull, runOpts{})
+}
+
+// Shotgun returns the cached Shotgun run of a workload (with its 64-entry
+// L1i prefetch buffer).
+func (h *Harness) Shotgun(workload string) sim.Result {
+	return h.run(workload, "shotgun", newShotgun, runOpts{pfbEntries: 64})
+}
+
+// Confluence returns the cached Confluence run of a workload.
+func (h *Harness) Confluence(workload string) sim.Result {
+	return h.run(workload, "confluence", newConfluence, runOpts{})
+}
+
+// mean averages a slice.
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a minimal harness for functional tests (not calibration).
+func tiny() *Harness {
+	return New(Config{
+		Cores:         2,
+		WarmCycles:    20_000,
+		MeasureCycles: 20_000,
+		Workloads:     []string{"Web-Frontend"},
+		Seed:          1,
+	})
+}
+
+func TestRunCaching(t *testing.T) {
+	h := tiny()
+	a := h.Baseline("Web-Frontend")
+	b := h.Baseline("Web-Frontend")
+	if a.M != b.M {
+		t.Fatal("cache returned different results")
+	}
+	if len(h.cache) != 1 {
+		t.Fatalf("cache has %d entries, want 1", len(h.cache))
+	}
+}
+
+func TestExperimentsProduceTables(t *testing.T) {
+	h := tiny()
+	// A representative cross-section exercising sim runs, trace metrics,
+	// DV-LLC runs, and static analysis.
+	for _, id := range []string{"fig02", "fig06", "fig08", "table2"} {
+		e, ok := h.ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		if e.Table == nil || len(e.Table.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+		if len(e.Headline) == 0 {
+			t.Errorf("%s produced no headline metrics", id)
+		}
+		if !strings.Contains(e.Table.String(), e.Table.Header[0]) {
+			t.Errorf("%s table render broken", id)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	h := tiny()
+	if _, ok := h.ByID("fig99"); ok {
+		t.Fatal("unknown experiment resolved")
+	}
+}
+
+func TestIDsCoverAll(t *testing.T) {
+	h := tiny()
+	for _, id := range IDs() {
+		if _, ok := map[string]bool{
+			"fig01": true, "table1": true, "fig02": true, "fig03": true,
+			"fig04": true, "fig05": true, "fig06": true, "fig07": true,
+			"fig08": true, "fig09": true, "table2": true, "fig11": true,
+			"fig12": true, "fig13": true, "fig14": true, "fig15": true,
+			"fig16": true, "fig17": true, "fig18": true, "secj": true,
+		}[id]; !ok {
+			t.Errorf("unexpected experiment id %s", id)
+		}
+	}
+	// Every ID must resolve (without running the heavy ones).
+	_ = h
+}
+
+func TestTraceMetricsBands(t *testing.T) {
+	// Characterization metrics must land in plausible bands for at least
+	// one workload (full-suite calibration is asserted by the benchmarks).
+	p := NextBlockPredictability("Web-Frontend")
+	if p < 0.7 || p > 1.0 {
+		t.Errorf("next-block predictability = %.3f, outside (0.7, 1.0]", p)
+	}
+	d := DiscontinuityPredictability("Web-Frontend")
+	if d < 0.5 || d > 1.0 {
+		t.Errorf("discontinuity predictability = %.3f, outside (0.5, 1.0]", d)
+	}
+	u := BranchesPerBlock("Web-Frontend")
+	for i := 0; i < 3; i++ {
+		if u[i] < u[i+1] {
+			t.Errorf("uncovered branches must not increase with capacity: %v", u)
+		}
+	}
+	if u[3] > 0.1 {
+		t.Errorf("four branches per BF leave %.3f uncovered, want near zero", u[3])
+	}
+}
+
+func TestScaleEntries(t *testing.T) {
+	if scaleEntries(2048, 1, 2) != 1024 {
+		t.Error("half scale wrong")
+	}
+	if scaleEntries(2048, 2, 1) != 4096 {
+		t.Error("double scale wrong")
+	}
+	if scaleEntries(128, 1, 16) != 64 {
+		t.Error("floor not applied")
+	}
+}
+
+func TestSamplesPooling(t *testing.T) {
+	one := New(Config{
+		Cores: 1, WarmCycles: 10_000, MeasureCycles: 10_000,
+		Workloads: []string{"Web-Frontend"}, Seed: 1,
+	})
+	three := New(Config{
+		Cores: 1, WarmCycles: 10_000, MeasureCycles: 10_000,
+		Workloads: []string{"Web-Frontend"}, Seed: 1, Samples: 3,
+	})
+	a := one.Baseline("Web-Frontend")
+	b := three.Baseline("Web-Frontend")
+	if b.M.Cycles != 3*a.M.Cycles {
+		t.Fatalf("pooled cycles %d, want 3x %d", b.M.Cycles, a.M.Cycles)
+	}
+	if len(b.PerCore) != 3*len(a.PerCore) {
+		t.Fatalf("pooled per-core results %d, want 3x %d", len(b.PerCore), len(a.PerCore))
+	}
+}

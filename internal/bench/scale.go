@@ -1,0 +1,91 @@
+package bench
+
+import "dnc/internal/btb"
+
+// btbShotgunConfig aliases the Shotgun BTB sizing type.
+type btbShotgunConfig = btb.ShotgunConfig
+
+// btbScale returns Shotgun's BTB scaled by num/den.
+func btbScale(num, den int) btb.ShotgunConfig {
+	return btb.ScaledShotgunConfig(num, den)
+}
+
+// scaleEntries scales a power-of-two entry count by num/den, keeping it a
+// positive power of two.
+func scaleEntries(entries, num, den int) int {
+	v := entries * num / den
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	if p < 64 {
+		p = 64
+	}
+	return p
+}
+
+// All runs every experiment in paper order.
+func (h *Harness) All() []Experiment {
+	return []Experiment{
+		h.Fig01(),
+		h.Table1(),
+		h.Fig02(),
+		h.Fig03(),
+		h.Fig04(),
+		h.Fig05(),
+		h.Fig06(),
+		h.Fig07(),
+		h.Fig08(),
+		h.Fig09(),
+		h.Table2(),
+		h.Fig11(),
+		h.Fig12(),
+		h.Fig13(),
+		h.Fig14(),
+		h.Fig15(),
+		h.Fig16(),
+		h.Fig17(),
+		h.Fig18(),
+		h.SecJ(),
+	}
+}
+
+// ByID returns the experiment with the given ID, running it on demand.
+func (h *Harness) ByID(id string) (Experiment, bool) {
+	m := map[string]func() Experiment{
+		"fig01":  h.Fig01,
+		"table1": h.Table1,
+		"fig02":  h.Fig02,
+		"fig03":  h.Fig03,
+		"fig04":  h.Fig04,
+		"fig05":  h.Fig05,
+		"fig06":  h.Fig06,
+		"fig07":  h.Fig07,
+		"fig08":  h.Fig08,
+		"fig09":  h.Fig09,
+		"table2": h.Table2,
+		"fig11":  h.Fig11,
+		"fig12":  h.Fig12,
+		"fig13":  h.Fig13,
+		"fig14":  h.Fig14,
+		"fig15":  h.Fig15,
+		"fig16":  h.Fig16,
+		"fig17":  h.Fig17,
+		"fig18":  h.Fig18,
+		"secj":   h.SecJ,
+	}
+	f, ok := m[id]
+	if !ok {
+		return Experiment{}, false
+	}
+	return f(), true
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"fig01", "table1", "fig02", "fig03", "fig04", "fig05", "fig06",
+		"fig07", "fig08", "fig09", "table2", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "secj",
+	}
+}

@@ -1,0 +1,50 @@
+// Package bpred implements the branch direction predictors and the return
+// address stack used by the core frontend and by BTB-directed prefetch
+// engines (which consult the predictor to walk ahead of fetch).
+package bpred
+
+import "dnc/internal/isa"
+
+// Predictor predicts conditional branch directions.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc isa.Addr) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc isa.Addr, taken bool)
+}
+
+// Bimodal is a classic 2-bit saturating counter table.
+type Bimodal struct {
+	table []uint8
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with the given entry count
+// (a power of two).
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: entries must be a positive power of two")
+	}
+	t := make([]uint8, entries)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1)}
+}
+
+func (b *Bimodal) idx(pc isa.Addr) uint64 { return (uint64(pc) >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc isa.Addr) bool { return b.table[b.idx(pc)] >= 2 }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc isa.Addr, taken bool) {
+	i := b.idx(pc)
+	if taken {
+		if b.table[i] < 3 {
+			b.table[i]++
+		}
+	} else if b.table[i] > 0 {
+		b.table[i]--
+	}
+}

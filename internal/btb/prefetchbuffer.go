@@ -1,0 +1,54 @@
+package btb
+
+import "dnc/internal/isa"
+
+// PrefetchBuffer is the Confluence-like BTB prefetch buffer of the proposed
+// design (Section V.C): a small 2-way set-associative structure keyed by
+// cache block, each entry holding all pre-decoded branches of that block.
+// Storing per block lets the pre-decoder fill one entry per decoded block in
+// a single access, without modifying the BTB itself. A hit promotes the
+// block's branches into the conventional BTB.
+type PrefetchBuffer struct {
+	table *Table[[]isa.Branch]
+}
+
+// NewPrefetchBuffer returns a buffer with the given block entries and ways
+// (the paper uses 32 entries, 2-way).
+func NewPrefetchBuffer(entries, ways int) *PrefetchBuffer {
+	return &PrefetchBuffer{table: NewTable[[]isa.Branch](entries, ways)}
+}
+
+// Fill stores the pre-decoded branches of a block (no-op for blocks without
+// branches, which need no BTB entries).
+func (p *PrefetchBuffer) Fill(b isa.BlockID, branches []isa.Branch) {
+	if len(branches) == 0 {
+		return
+	}
+	p.table.Insert(isa.BlockBase(b), branches)
+}
+
+// TakeBlock removes and returns the entry for a block. The frontend calls
+// this when a BTB lookup misses: a prefetch-buffer hit promotes every branch
+// of the block into the BTB, avoiding the decode-redirect penalty.
+func (p *PrefetchBuffer) TakeBlock(b isa.BlockID) ([]isa.Branch, bool) {
+	key := isa.BlockBase(b)
+	brs, ok := p.table.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	p.table.Invalidate(key)
+	return brs, true
+}
+
+// Contains reports whether the buffer holds an entry for the block, without
+// disturbing state.
+func (p *PrefetchBuffer) Contains(b isa.BlockID) bool {
+	_, ok := p.table.Peek(isa.BlockBase(b))
+	return ok
+}
+
+// Lookups and Hits expose access statistics.
+func (p *PrefetchBuffer) Lookups() uint64 { return p.table.Lookups() }
+
+// Hits returns successful TakeBlock calls.
+func (p *PrefetchBuffer) Hits() uint64 { return p.table.Hits() }

@@ -1,0 +1,213 @@
+package btb
+
+import "dnc/internal/isa"
+
+// Shotgun (Kumar et al., ASPLOS 2018) splits a basic-block-oriented BTB
+// into three structures: most of the storage goes to basic blocks ending in
+// unconditional branches (U-BTB), whose entries carry spatial footprints of
+// the blocks touched around the branch target (call footprint) and around
+// the return site (return footprint); basic blocks ending in conditional
+// branches get a small C-BTB that is aggressively prefilled by pre-decoding;
+// returns get a small RIB. Prefetching is driven by the footprints rather
+// than by walking conditional branches one at a time.
+
+// Footprint window: 8 blocks starting two blocks before the region entry.
+const (
+	FootprintBefore = 2
+	FootprintBits   = 8
+)
+
+// Footprint is a bit vector over the blocks [base-FootprintBefore,
+// base-FootprintBefore+FootprintBits) around a region entry block.
+type Footprint struct {
+	Bits uint8
+}
+
+// Set marks the block at the given delta from the region entry block.
+// Deltas outside the window are dropped.
+func (f *Footprint) Set(delta int) {
+	i := delta + FootprintBefore
+	if i >= 0 && i < FootprintBits {
+		f.Bits |= 1 << uint(i)
+	}
+}
+
+// Empty reports whether no blocks are recorded.
+func (f Footprint) Empty() bool { return f.Bits == 0 }
+
+// Blocks expands the footprint into absolute block IDs around base.
+func (f Footprint) Blocks(base isa.BlockID) []isa.BlockID {
+	var out []isa.BlockID
+	for i := 0; i < FootprintBits; i++ {
+		if f.Bits&(1<<uint(i)) == 0 {
+			continue
+		}
+		delta := i - FootprintBefore
+		if delta < 0 && isa.BlockID(-delta) > base {
+			continue
+		}
+		out = append(out, isa.BlockID(int64(base)+int64(delta)))
+	}
+	return out
+}
+
+// UBBEntry is a U-BTB payload: a basic block ending in an unconditional
+// branch, plus the spatial footprints Shotgun prefetches from.
+type UBBEntry struct {
+	BB UBBInfo
+	// CallFP records blocks touched around the branch target; RetFP records
+	// blocks touched around the return site (for calls).
+	CallFP Footprint
+	RetFP  Footprint
+	// HasFP distinguishes entries whose footprints were constructed from
+	// the retired stream from entries prefilled by pre-decoding, whose
+	// footprints cannot be recovered (the paper's Section III observation:
+	// BTB prefilling cannot fill footprints).
+	HasFP bool
+}
+
+// UBBInfo aliases BBEntry for readability.
+type UBBInfo = BBEntry
+
+// ShotgunBTB bundles the three structures. All are keyed by basic-block
+// start address.
+type ShotgunBTB struct {
+	U   *Table[UBBEntry]
+	C   *Table[BBEntry]
+	RIB *Table[BBEntry]
+
+	// Footprint accounting for Figure 1: a footprint miss is a U-BTB
+	// lookup that either misses entirely or hits an entry without
+	// constructed footprints.
+	ULookups       uint64
+	UFootprintMiss uint64
+	UEntryMiss     uint64
+	PrefilledNoFP  uint64
+}
+
+// ShotgunConfig sizes the three tables (paper: 1.5K U-BTB, 128 C-BTB,
+// 512 RIB).
+type ShotgunConfig struct {
+	UEntries, UWays int
+	CEntries, CWays int
+	REntries, RWays int
+}
+
+// DefaultShotgunConfig matches the paper's evaluation.
+func DefaultShotgunConfig() ShotgunConfig {
+	return ShotgunConfig{
+		UEntries: 1536, UWays: 6,
+		CEntries: 128, CWays: 4,
+		REntries: 512, RWays: 4,
+	}
+}
+
+// ScaledShotgunConfig scales every table by num/den (for the Figure 18 BTB
+// size sweep), keeping geometries legal.
+func ScaledShotgunConfig(num, den int) ShotgunConfig {
+	scale := func(entries, ways int) int {
+		v := entries * num / den
+		if v < ways {
+			v = ways
+		}
+		// Round up to ways * power-of-two sets.
+		sets := 1
+		for sets*ways < v {
+			sets <<= 1
+		}
+		return sets * ways
+	}
+	d := DefaultShotgunConfig()
+	return ShotgunConfig{
+		UEntries: scale(d.UEntries, d.UWays), UWays: d.UWays,
+		CEntries: scale(d.CEntries, d.CWays), CWays: d.CWays,
+		REntries: scale(d.REntries, d.RWays), RWays: d.RWays,
+	}
+}
+
+// NewShotgun builds the split BTB.
+func NewShotgun(cfg ShotgunConfig) *ShotgunBTB {
+	if cfg.UEntries == 0 {
+		cfg = DefaultShotgunConfig()
+	}
+	return &ShotgunBTB{
+		U:   NewTable[UBBEntry](cfg.UEntries, cfg.UWays),
+		C:   NewTable[BBEntry](cfg.CEntries, cfg.CWays),
+		RIB: NewTable[BBEntry](cfg.REntries, cfg.RWays),
+	}
+}
+
+// LookupU looks up a basic block ending in an unconditional branch. Hits
+// are counted toward the Figure 1 footprint-miss ratio (a hit without
+// constructed footprints is a footprint miss). Misses cannot be classified
+// here — the engine looks up every unknown basic block in all three
+// structures, so a miss may simply be a conditional block absent from the
+// C-BTB; the engine calls NoteResolvedUncond once pre-decoding reveals the
+// block really ends in an unconditional branch.
+func (s *ShotgunBTB) LookupU(start isa.Addr) (UBBEntry, bool) {
+	e, ok := s.U.Lookup(start)
+	if !ok {
+		return UBBEntry{}, false
+	}
+	s.ULookups++
+	if !e.HasFP {
+		s.UFootprintMiss++
+	}
+	return e, true
+}
+
+// NoteResolvedUncond records that a U-BTB lookup missed for a basic block
+// that pre-decoding resolved to an unconditional branch: an entry miss and
+// therefore also a footprint miss (Figure 1).
+func (s *ShotgunBTB) NoteResolvedUncond() {
+	s.ULookups++
+	s.UEntryMiss++
+	s.UFootprintMiss++
+}
+
+// CommitU installs or refreshes a U-BTB entry from the retired instruction
+// stream, merging any footprints already present. HasFP is set once the
+// entry carries constructed footprints.
+func (s *ShotgunBTB) CommitU(start isa.Addr, e UBBEntry) {
+	if old, ok := s.U.Peek(start); ok {
+		e.CallFP.Bits |= old.CallFP.Bits
+		e.RetFP.Bits |= old.RetFP.Bits
+		e.HasFP = e.HasFP || old.HasFP
+	}
+	e.HasFP = e.HasFP || !e.CallFP.Empty() || !e.RetFP.Empty()
+	s.U.Insert(start, e)
+}
+
+// UpdateFootprints merges footprints into an existing entry without
+// touching recency (region recorder write-back).
+func (s *ShotgunBTB) UpdateFootprints(start isa.Addr, call, ret *Footprint) {
+	e, ok := s.U.Peek(start)
+	if !ok {
+		return
+	}
+	if call != nil {
+		e.CallFP.Bits |= call.Bits
+	}
+	if ret != nil {
+		e.RetFP.Bits |= ret.Bits
+	}
+	e.HasFP = true
+	s.U.Update(start, e)
+}
+
+// PrefillU installs a pre-decoded U-BTB entry; its footprints are unknown.
+func (s *ShotgunBTB) PrefillU(start isa.Addr, bb BBEntry) {
+	if _, ok := s.U.Peek(start); ok {
+		return // never downgrade a constructed entry
+	}
+	s.PrefilledNoFP++
+	s.U.Insert(start, UBBEntry{BB: bb})
+}
+
+// FootprintMissRatio returns the Figure 1 metric.
+func (s *ShotgunBTB) FootprintMissRatio() float64 {
+	if s.ULookups == 0 {
+		return 0
+	}
+	return float64(s.UFootprintMiss) / float64(s.ULookups)
+}

@@ -1,0 +1,161 @@
+// Package cache implements the set-associative caches of the memory
+// hierarchy: a generic LRU cache with per-line metadata hooks (prefetch
+// flags, SN4L's 4-bit local prefetch status) and a miss-status holding
+// register (MSHR) file that merges demand requests into in-flight prefetches
+// — the mechanism behind partially covered miss latency (the paper's CMAL
+// and FSCR metrics).
+package cache
+
+import (
+	"fmt"
+
+	"dnc/internal/isa"
+)
+
+// Line flag bits.
+const (
+	// FlagPrefetched marks a line brought in by a prefetcher and not yet
+	// demanded (the paper's 1-bit isPrefetch flag).
+	FlagPrefetched uint8 = 1 << iota
+	// FlagInstruction marks instruction lines (used by DV-LLC's
+	// isInstruction OR).
+	FlagInstruction
+)
+
+// Line is the client-visible state of one resident cache line.
+type Line struct {
+	tag   isa.BlockID
+	valid bool
+	lru   uint64
+	// Flags holds Flag* bits.
+	Flags uint8
+	// Aux is free per-line metadata; SN4L stores its 4-bit local prefetch
+	// status here.
+	Aux uint8
+}
+
+// Block returns the block resident in the line.
+func (l *Line) Block() isa.BlockID { return l.tag }
+
+// Evicted describes a victim line returned by Insert.
+type Evicted struct {
+	Block isa.BlockID
+	Flags uint8
+	Aux   uint8
+}
+
+// Cache is a set-associative LRU cache operating on 64-byte block IDs.
+type Cache struct {
+	sets  int
+	ways  int
+	lines []Line
+	clock uint64
+}
+
+// New returns a cache of the given total size and associativity. Size must
+// be a multiple of ways*64 and the resulting set count a power of two.
+func New(sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry size=%d ways=%d", sizeBytes, ways))
+	}
+	blocks := sizeBytes / isa.BlockBytes
+	sets := blocks / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two (size=%d ways=%d)",
+			sets, sizeBytes, ways))
+	}
+	return &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways)}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * isa.BlockBytes }
+
+func (c *Cache) setOf(b isa.BlockID) int { return int(uint64(b) & uint64(c.sets-1)) }
+
+// find returns the line holding b, or nil.
+func (c *Cache) find(b isa.BlockID) *Line {
+	s := c.setOf(b) * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[s+i]
+		if l.valid && l.tag == b {
+			return l
+		}
+	}
+	return nil
+}
+
+// Contains reports residency without touching LRU state (a "peek", as used
+// by prefetchers probing the cache).
+func (c *Cache) Contains(b isa.BlockID) bool { return c.find(b) != nil }
+
+// Line returns the resident line for b for metadata access, or nil. It does
+// not touch LRU state.
+func (c *Cache) Line(b isa.BlockID) *Line { return c.find(b) }
+
+// Access performs a demand lookup: on hit it promotes the line to MRU and
+// returns it; on miss it returns nil.
+func (c *Cache) Access(b isa.BlockID) *Line {
+	l := c.find(b)
+	if l == nil {
+		return nil
+	}
+	c.clock++
+	l.lru = c.clock
+	return l
+}
+
+// Insert fills block b, evicting the LRU way if the set is full. It returns
+// the filled line and, when a valid line was displaced, its victim state.
+func (c *Cache) Insert(b isa.BlockID) (*Line, *Evicted) {
+	if l := c.find(b); l != nil {
+		// Refill of a resident block: treat as a touch.
+		c.clock++
+		l.lru = c.clock
+		return l, nil
+	}
+	s := c.setOf(b) * c.ways
+	victim := &c.lines[s]
+	for i := 1; i < c.ways; i++ {
+		l := &c.lines[s+i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if !victim.valid {
+			break
+		}
+		if l.lru < victim.lru {
+			victim = l
+		}
+	}
+	var ev *Evicted
+	if victim.valid {
+		ev = &Evicted{Block: victim.tag, Flags: victim.Flags, Aux: victim.Aux}
+	}
+	c.clock++
+	*victim = Line{tag: b, valid: true, lru: c.clock}
+	return victim, ev
+}
+
+// Invalidate removes block b if resident, returning whether it was.
+func (c *Cache) Invalidate(b isa.BlockID) bool {
+	if l := c.find(b); l != nil {
+		*l = Line{}
+		return true
+	}
+	return false
+}
+
+// Reset invalidates every line.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = Line{}
+	}
+	c.clock = 0
+}

@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dnc/internal/isa"
+)
+
+func TestGeometry(t *testing.T) {
+	c := New(32<<10, 8)
+	if c.Sets() != 64 || c.Ways() != 8 || c.SizeBytes() != 32<<10 {
+		t.Fatalf("geometry: sets=%d ways=%d size=%d", c.Sets(), c.Ways(), c.SizeBytes())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two sets")
+		}
+	}()
+	New(3*64*8, 8) // 3 sets
+}
+
+func TestHitMissEvict(t *testing.T) {
+	c := New(2*64*2, 2) // 2 sets, 2 ways
+	if c.Access(0) != nil {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(0) // set 0
+	c.Insert(2) // set 0
+	if c.Access(0) == nil || c.Access(2) == nil {
+		t.Fatal("expected hits")
+	}
+	// Set 0 is full; inserting block 4 must evict LRU (block 0 was accessed
+	// before block 2, so 0 is LRU... after Access(0) then Access(2), LRU is 0).
+	_, ev := c.Insert(4)
+	if ev == nil || ev.Block != 0 {
+		t.Fatalf("evicted %+v, want block 0", ev)
+	}
+	if c.Contains(0) {
+		t.Fatal("block 0 still resident after eviction")
+	}
+	if !c.Contains(2) || !c.Contains(4) {
+		t.Fatal("resident blocks missing")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := New(1*64*4, 4) // 1 set, 4 ways
+	for b := isa.BlockID(0); b < 4; b++ {
+		c.Insert(b)
+	}
+	c.Access(0) // 0 becomes MRU; LRU is now 1
+	_, ev := c.Insert(10)
+	if ev == nil || ev.Block != 1 {
+		t.Fatalf("evicted %+v, want block 1", ev)
+	}
+}
+
+func TestInsertResidentIsTouch(t *testing.T) {
+	c := New(1*64*2, 2)
+	c.Insert(0)
+	c.Insert(1)
+	l, ev := c.Insert(0) // refill of resident block
+	if ev != nil {
+		t.Fatalf("refill evicted %+v", ev)
+	}
+	if l.Block() != 0 {
+		t.Fatalf("line holds %d", l.Block())
+	}
+	// 0 is MRU now, so inserting 2 evicts 1.
+	_, ev = c.Insert(2)
+	if ev == nil || ev.Block != 1 {
+		t.Fatalf("evicted %+v, want block 1", ev)
+	}
+}
+
+func TestLineMetadata(t *testing.T) {
+	c := New(64*4, 4)
+	l, _ := c.Insert(7)
+	l.Flags |= FlagPrefetched
+	l.Aux = 0xB
+	got := c.Line(7)
+	if got == nil || got.Flags&FlagPrefetched == 0 || got.Aux != 0xB {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	// Eviction carries metadata out.
+	c.Insert(7 + 0) // touch; fill the set so 7 becomes LRU
+	for b := isa.BlockID(100); b < 103; b++ {
+		c.Insert(b * isa.BlockID(c.Sets())) // same set 0? ensure same set
+	}
+	// Instead, test metadata via direct eviction on a 1-way cache.
+	c1 := New(64, 1)
+	l1, _ := c1.Insert(5)
+	l1.Flags = FlagPrefetched
+	l1.Aux = 3
+	_, ev := c1.Insert(6)
+	if ev == nil || ev.Block != 5 || ev.Flags != FlagPrefetched || ev.Aux != 3 {
+		t.Fatalf("evicted metadata wrong: %+v", ev)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(64*2, 2)
+	c.Insert(3)
+	if !c.Invalidate(3) || c.Contains(3) {
+		t.Fatal("invalidate failed")
+	}
+	if c.Invalidate(3) {
+		t.Fatal("double invalidate reported true")
+	}
+}
+
+func TestContainsDoesNotTouchLRU(t *testing.T) {
+	c := New(1*64*2, 2)
+	c.Insert(0)
+	c.Insert(1) // LRU: 0
+	c.Contains(0)
+	_, ev := c.Insert(2)
+	if ev == nil || ev.Block != 0 {
+		t.Fatalf("Contains disturbed LRU: evicted %+v, want 0", ev)
+	}
+}
+
+// Property: the cache never holds more distinct blocks than its capacity,
+// and a just-inserted block is always resident.
+func TestQuickCapacityInvariant(t *testing.T) {
+	f := func(blocks []uint16) bool {
+		c := New(4*64*2, 2) // 8 lines
+		for _, raw := range blocks {
+			b := isa.BlockID(raw)
+			c.Insert(b)
+			if !c.Contains(b) {
+				return false
+			}
+		}
+		count := 0
+		for b := isa.BlockID(0); b < 1<<16; b++ {
+			if c.Contains(b) {
+				count++
+			}
+		}
+		return count <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSHRFile(t *testing.T) {
+	f := NewMSHRFile(2)
+	m := f.Alloc(1, 10, 50, true)
+	if m == nil || f.Len() != 1 {
+		t.Fatal("alloc failed")
+	}
+	if m.Latency() != 40 {
+		t.Fatalf("latency = %d", m.Latency())
+	}
+	if f.Alloc(1, 11, 51, false) != nil {
+		t.Fatal("duplicate alloc succeeded")
+	}
+	if f.Alloc(2, 10, 60, false) == nil {
+		t.Fatal("second alloc failed")
+	}
+	if !f.Full() || f.Alloc(3, 10, 60, false) != nil {
+		t.Fatal("capacity not enforced")
+	}
+	got, ok := f.Lookup(1)
+	if !ok || got != m {
+		t.Fatal("lookup failed")
+	}
+	ready := f.Ready(55)
+	if len(ready) != 1 || ready[0].Block != 1 {
+		t.Fatalf("Ready(55) = %+v", ready)
+	}
+	f.Free(1)
+	if f.Len() != 1 || f.Full() {
+		t.Fatal("free failed")
+	}
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(64*4, 4)
+	l, _ := c.Insert(9)
+	l.Flags = FlagInstruction
+	c.Reset()
+	if c.Contains(9) {
+		t.Fatal("reset left contents")
+	}
+	if c.Access(9) != nil {
+		t.Fatal("access after reset hit")
+	}
+}
+
+func TestLineBlock(t *testing.T) {
+	c := New(64*2, 2)
+	l, _ := c.Insert(77)
+	if l.Block() != 77 {
+		t.Fatalf("Block() = %d", l.Block())
+	}
+}
+
+func TestMSHRAllocDemandBypassesCapacity(t *testing.T) {
+	f := NewMSHRFile(1)
+	if f.Alloc(1, 0, 10, true) == nil {
+		t.Fatal("first alloc failed")
+	}
+	if !f.Full() {
+		t.Fatal("file should be full")
+	}
+	// Demands reserve their own slot.
+	m := f.AllocDemand(2, 0, 10)
+	if m == nil || m.Prefetch {
+		t.Fatalf("demand alloc failed: %+v", m)
+	}
+	// Duplicates still refused.
+	if f.AllocDemand(2, 1, 11) != nil {
+		t.Fatal("duplicate demand alloc accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package cache
+
+import "dnc/internal/isa"
+
+// MSHR tracks one in-flight miss.
+type MSHR struct {
+	Block isa.BlockID
+	// IssueCycle is when the request left for the lower hierarchy.
+	IssueCycle uint64
+	// ReadyCycle is when the fill arrives.
+	ReadyCycle uint64
+	// Prefetch reports whether the request was initiated by a prefetcher
+	// (and not yet merged with a demand).
+	Prefetch bool
+	// Demanded records whether a demand access merged into this miss while
+	// it was in flight; used for partial-coverage accounting.
+	Demanded bool
+	// Buffered routes the fill into the design's prefetch buffer instead of
+	// the L1i (Shotgun's 64-entry instruction prefetch buffer).
+	Buffered bool
+}
+
+// Latency returns the full fetch latency of the request.
+func (m *MSHR) Latency() uint64 { return m.ReadyCycle - m.IssueCycle }
+
+// MSHRFile is a fixed-capacity set of in-flight misses indexed by block.
+type MSHRFile struct {
+	cap     int
+	entries map[isa.BlockID]*MSHR
+}
+
+// NewMSHRFile returns a file with the given capacity.
+func NewMSHRFile(capacity int) *MSHRFile {
+	return &MSHRFile{cap: capacity, entries: make(map[isa.BlockID]*MSHR, capacity)}
+}
+
+// Cap returns the capacity.
+func (f *MSHRFile) Cap() int { return f.cap }
+
+// Len returns the number of in-flight misses.
+func (f *MSHRFile) Len() int { return len(f.entries) }
+
+// Full reports whether no further miss can be allocated.
+func (f *MSHRFile) Full() bool { return len(f.entries) >= f.cap }
+
+// Lookup returns the in-flight entry for b, if any.
+func (f *MSHRFile) Lookup(b isa.BlockID) (*MSHR, bool) {
+	m, ok := f.entries[b]
+	return m, ok
+}
+
+// Alloc registers a new in-flight miss. It returns nil if the file is full
+// or the block already has an entry (callers merge via Lookup first).
+func (f *MSHRFile) Alloc(b isa.BlockID, issue, ready uint64, prefetch bool) *MSHR {
+	if f.Full() {
+		return nil
+	}
+	if _, ok := f.entries[b]; ok {
+		return nil
+	}
+	m := &MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready, Prefetch: prefetch}
+	f.entries[b] = m
+	return m
+}
+
+// AllocDemand registers a demand miss, bypassing the capacity check: the
+// fetch unit reserves a slot for the demand stream, so a prefetch-saturated
+// file cannot deadlock fetch. It still returns nil for duplicates.
+func (f *MSHRFile) AllocDemand(b isa.BlockID, issue, ready uint64) *MSHR {
+	if _, ok := f.entries[b]; ok {
+		return nil
+	}
+	m := &MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready}
+	f.entries[b] = m
+	return m
+}
+
+// Free releases the entry for b (at fill time).
+func (f *MSHRFile) Free(b isa.BlockID) { delete(f.entries, b) }
+
+// Ready returns all entries whose fill has arrived by the given cycle.
+// Callers free them after applying the fill.
+func (f *MSHRFile) Ready(cycle uint64) []*MSHR {
+	var out []*MSHR
+	for _, m := range f.entries {
+		if m.ReadyCycle <= cycle {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Reset drops all in-flight entries.
+func (f *MSHRFile) Reset() { clear(f.entries) }

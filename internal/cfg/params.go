@@ -1,0 +1,161 @@
+// Package cfg models server-workload instruction streams. It generates a
+// synthetic program — functions made of basic blocks laid out in a flat
+// address space and encoded into a real code image — and executes it with a
+// seeded stochastic walker, producing the committed instruction stream that
+// drives the timing simulator.
+//
+// The paper's workloads (TPC-C on Oracle/DB2, SPECweb99 on Apache/Zeus,
+// CloudSuite) are commercial software we cannot run; what the evaluated
+// prefetchers actually respond to is a set of statistical properties of the
+// fetch stream: multi-megabyte instruction footprints, mostly-sequential
+// intra-function fetch runs punctuated by call/return/branch discontinuities,
+// strongly biased conditional branches, rarely executed error-handling
+// paths, and a hot/cold function skew. Params exposes exactly those
+// properties as knobs; internal/workloads calibrates one preset per paper
+// workload against the paper's own measurements (Figures 2, 6, 7 and 8).
+package cfg
+
+import "dnc/internal/isa"
+
+// Params configures program generation and execution.
+type Params struct {
+	// Name labels the workload in reports.
+	Name string
+
+	// Mode selects the instruction encoding (fixed or variable length).
+	Mode isa.Mode
+
+	// CodeBase is the address of the first function.
+	CodeBase isa.Addr
+
+	// FootprintBytes is the approximate total code size. Server workloads
+	// have footprints far exceeding the 32 KB L1i (megabytes).
+	FootprintBytes int
+
+	// AvgBlockInsts is the mean basic-block length in instructions.
+	AvgBlockInsts int
+
+	// FuncMinBlocks/FuncMaxBlocks bound basic blocks per function. Together
+	// with AvgBlockInsts this sets the length of sequential fetch runs and
+	// therefore the sequential fraction of L1i misses (Figure 2).
+	FuncMinBlocks, FuncMaxBlocks int
+
+	// CondFrac, JumpFrac, CallFrac are the probabilities that a non-final
+	// basic block ends in a conditional branch, an unconditional jump, or a
+	// call; the remainder fall through. The final block of a function always
+	// returns.
+	CondFrac, JumpFrac, CallFrac float64
+
+	// IndirectCallFrac is the fraction of call sites that are indirect
+	// (virtual dispatch); each such site selects among a few callees at run
+	// time.
+	IndirectCallFrac float64
+
+	// StableBiasFrac is the fraction of conditional branches with a strongly
+	// biased direction; the rest are weakly biased. Strong bias is what
+	// makes next-block access patterns (Figure 6) and per-block
+	// discontinuity branches (Figure 7) predictable.
+	StableBiasFrac float64
+
+	// TakenBias is the taken probability of a strongly biased branch (or
+	// 1-TakenBias when biased not-taken).
+	TakenBias float64
+
+	// WeakBias is the taken probability of weakly biased branches.
+	WeakBias float64
+
+	// BackwardFrac is the fraction of conditional branches whose target is
+	// backward (loops). Server code is notoriously loop-poor.
+	BackwardFrac float64
+
+	// RareBlockFrac is the fraction of basic blocks that model rarely
+	// executed code (exception handlers, error paths). A rare block is
+	// guarded by a mostly-taken forward branch that skips it, producing the
+	// useless-prefetch pattern of Algorithm 1 in the paper.
+	RareBlockFrac float64
+
+	// RareExecProb is the probability a guarded rare block actually runs.
+	RareExecProb float64
+
+	// HotFuncFrac is the fraction of functions considered hot; HotCallProb
+	// is the probability a call site targets a hot function.
+	HotFuncFrac float64
+	HotCallProb float64
+
+	// HotSkew concentrates hot-function popularity: 0 picks uniformly among
+	// hot functions; larger values make an exponentially decaying head of
+	// the hot list receive most calls (real server profiles are heavily
+	// skewed, which is what gives BTB-resident structures their temporal
+	// reuse).
+	HotSkew float64
+
+	// MaxCallDepth bounds the simulated call stack; calls beyond the bound
+	// are elided (treated as fallthrough), modelling inlining of leaves.
+	MaxCallDepth int
+
+	// LoadFrac/StoreFrac are per-instruction probabilities for memory ops
+	// among non-terminator instructions.
+	LoadFrac, StoreFrac float64
+
+	// Data side: loads hit a hot region of DataHotBytes with probability
+	// DataHotProb, otherwise the full DataFootprintBytes region.
+	DataFootprintBytes int
+	DataHotBytes       int
+	DataHotProb        float64
+
+	// GenSeed seeds program generation (layout, biases, callees).
+	GenSeed int64
+}
+
+// setDefaults fills zero-valued fields with documented defaults so partial
+// parameter sets (tests, custom workloads) behave sensibly.
+func (p *Params) setDefaults() {
+	if p.CodeBase == 0 {
+		p.CodeBase = 0x40_0000
+	}
+	if p.FootprintBytes == 0 {
+		p.FootprintBytes = 2 << 20
+	}
+	if p.AvgBlockInsts == 0 {
+		p.AvgBlockInsts = 8
+	}
+	if p.FuncMinBlocks == 0 {
+		p.FuncMinBlocks = 6
+	}
+	if p.FuncMaxBlocks == 0 {
+		p.FuncMaxBlocks = 24
+	}
+	if p.CondFrac == 0 && p.JumpFrac == 0 && p.CallFrac == 0 {
+		p.CondFrac, p.JumpFrac, p.CallFrac = 0.45, 0.08, 0.22
+	}
+	if p.StableBiasFrac == 0 {
+		p.StableBiasFrac = 0.85
+	}
+	if p.TakenBias == 0 {
+		p.TakenBias = 0.95
+	}
+	if p.WeakBias == 0 {
+		p.WeakBias = 0.6
+	}
+	if p.RareExecProb == 0 {
+		p.RareExecProb = 0.03
+	}
+	if p.HotFuncFrac == 0 {
+		p.HotFuncFrac = 0.2
+	}
+	if p.HotCallProb == 0 {
+		p.HotCallProb = 0.85
+	}
+	if p.MaxCallDepth == 0 {
+		p.MaxCallDepth = 24
+	}
+	if p.DataFootprintBytes == 0 {
+		p.DataFootprintBytes = 32 << 20
+	}
+	if p.DataHotBytes == 0 {
+		p.DataHotBytes = 128 << 10
+	}
+	if p.DataHotProb == 0 {
+		p.DataHotProb = 0.85
+	}
+}

@@ -1,0 +1,307 @@
+package cfg
+
+import (
+	"math/rand"
+
+	"dnc/internal/isa"
+)
+
+// TermKind classifies how a basic block ends.
+type TermKind uint8
+
+// Basic-block terminators.
+const (
+	TermFall TermKind = iota // no branch; execution continues to Next
+	TermCond                 // conditional branch: TargetBB if taken, Next otherwise
+	TermJump                 // unconditional jump to TargetBB
+	TermCall                 // call Callee (or one of Callees if indirect), return to Next
+	TermRet                  // return to caller (dispatcher if stack empty)
+)
+
+// String names the terminator.
+func (t TermKind) String() string {
+	switch t {
+	case TermFall:
+		return "fall"
+	case TermCond:
+		return "cond"
+	case TermJump:
+		return "jump"
+	case TermCall:
+		return "call"
+	case TermRet:
+		return "ret"
+	default:
+		return "?"
+	}
+}
+
+// Block is a basic block. Insts is filled during layout (PCs and sizes are
+// address-dependent); the terminator, when present, is the last instruction.
+type Block struct {
+	Insts []isa.Inst
+	Term  TermKind
+	// TakenProb is the probability a TermCond branch is taken.
+	TakenProb float64
+	// StableBias marks strongly biased conditional branches.
+	StableBias bool
+	// TargetBB is the global index of the taken/jump target block.
+	TargetBB int32
+	// Callee is the function index of a direct call; -1 for indirect calls.
+	Callee int32
+	// Callees are the candidate functions of an indirect call site.
+	Callees []int32
+	// Next is the global index of the fallthrough successor; -1 for the
+	// final block of a function.
+	Next int32
+	// Rare marks rarely executed blocks (guarded error paths).
+	Rare bool
+	// Func is the index of the owning function.
+	Func int32
+}
+
+// Entry returns the block's first-instruction address. Layout must have run.
+func (b *Block) Entry() isa.Addr { return b.Insts[0].PC }
+
+// Terminator returns the terminating instruction, if the block has one.
+func (b *Block) Terminator() (isa.Inst, bool) {
+	if b.Term == TermFall || len(b.Insts) == 0 {
+		return isa.Inst{}, false
+	}
+	return b.Insts[len(b.Insts)-1], true
+}
+
+// Func is a generated function: a contiguous run of basic blocks.
+type Func struct {
+	First, Last int32 // global block index range [First, Last]
+	Hot         bool
+}
+
+// Program is a generated synthetic program.
+type Program struct {
+	Params Params
+	Funcs  []Func
+	Blocks []Block
+	Image  *isa.Image
+	hot    []int32 // indices of hot functions
+}
+
+// blockPlan is the pre-layout shape of a block.
+type blockPlan struct {
+	bodyKinds []isa.Kind
+	term      TermKind
+	takenProb float64
+	stable    bool
+	targetBB  int32
+	callee    int32
+	callees   []int32
+	rare      bool
+}
+
+// Generate builds a program from the parameters. Generation is deterministic
+// given Params (including GenSeed).
+func Generate(p Params) *Program {
+	p.setDefaults()
+	rng := rand.New(rand.NewSource(p.GenSeed))
+
+	prog := &Program{Params: p}
+	var plans []blockPlan
+	estBytes := 0
+	avgInstBytes := 4.0
+	if p.Mode == isa.Variable {
+		avgInstBytes = 5.3
+	}
+
+	// Pass 1: structure. Generate functions until the estimated footprint is
+	// reached. Call targets are resolved in pass 2 once the function count
+	// is known.
+	for estBytes < p.FootprintBytes {
+		nBlocks := p.FuncMinBlocks + rng.Intn(p.FuncMaxBlocks-p.FuncMinBlocks+1)
+		first := int32(len(plans))
+		fnPlans := genFunctionPlan(p, rng, nBlocks)
+		plans = append(plans, fnPlans...)
+		prog.Funcs = append(prog.Funcs, Func{First: first, Last: int32(len(plans) - 1)})
+		for _, bp := range fnPlans {
+			n := len(bp.bodyKinds)
+			if bp.term != TermFall {
+				n++
+			}
+			estBytes += int(float64(n) * avgInstBytes)
+		}
+	}
+
+	// Mark hot functions.
+	nHot := int(float64(len(prog.Funcs)) * p.HotFuncFrac)
+	if nHot < 1 {
+		nHot = 1
+	}
+	perm := rng.Perm(len(prog.Funcs))
+	for i := 0; i < nHot; i++ {
+		prog.Funcs[perm[i]].Hot = true
+		prog.hot = append(prog.hot, int32(perm[i]))
+	}
+
+	// Pass 2: resolve call sites.
+	for i := range plans {
+		bp := &plans[i]
+		if bp.term != TermCall {
+			continue
+		}
+		if rng.Float64() < p.IndirectCallFrac {
+			bp.callee = -1
+			n := 2 + rng.Intn(3)
+			for j := 0; j < n; j++ {
+				bp.callees = append(bp.callees, prog.pickCallee(rng))
+			}
+		} else {
+			bp.callee = prog.pickCallee(rng)
+		}
+	}
+
+	// Pass 3: layout — assign sizes/PCs, encode the image, build Blocks.
+	layout(prog, plans, rng)
+	return prog
+}
+
+// skewedIndex samples an index in [0, n) with an exponentially decaying
+// head when skew > 0; skew 0 is uniform.
+func skewedIndex(rng *rand.Rand, n int, skew float64) int {
+	if n <= 1 {
+		return 0
+	}
+	if skew <= 0 {
+		return rng.Intn(n)
+	}
+	idx := int(rng.ExpFloat64() / skew * float64(n) / 8)
+	return idx % n
+}
+
+// pickCallee selects a callee function with the configured hot/cold skew.
+func (p *Program) pickCallee(rng *rand.Rand) int32 {
+	if len(p.hot) > 0 && rng.Float64() < p.Params.HotCallProb {
+		return p.hot[skewedIndex(rng, len(p.hot), p.Params.HotSkew)]
+	}
+	return int32(rng.Intn(len(p.Funcs)))
+}
+
+// genFunctionPlan generates the block plans of one function. Local block
+// indices are stored in targetBB and fixed up by the caller via the global
+// first index — targets here are relative to the function start.
+func genFunctionPlan(p Params, rng *rand.Rand, nBlocks int) []blockPlan {
+	plans := make([]blockPlan, nBlocks)
+
+	// Choose rare blocks: interior blocks, never adjacent, always with a
+	// guarding predecessor and a join successor.
+	for i := 2; i < nBlocks-1; i++ {
+		if plans[i-1].rare || plans[i-1].term == TermCond {
+			continue
+		}
+		if rng.Float64() < p.RareBlockFrac {
+			plans[i].rare = true
+			// Guard: predecessor skips the rare block most of the time.
+			plans[i-1].term = TermCond
+			plans[i-1].targetBB = int32(i + 1)
+			plans[i-1].takenProb = 1 - p.RareExecProb
+			plans[i-1].stable = true
+		}
+	}
+
+	for i := 0; i < nBlocks; i++ {
+		bp := &plans[i]
+		nBody := 1 + rng.Intn(2*p.AvgBlockInsts-1)
+		bp.bodyKinds = make([]isa.Kind, 0, nBody)
+		for j := 0; j < nBody; j++ {
+			r := rng.Float64()
+			switch {
+			case r < p.LoadFrac:
+				bp.bodyKinds = append(bp.bodyKinds, isa.KindLoad)
+			case r < p.LoadFrac+p.StoreFrac:
+				bp.bodyKinds = append(bp.bodyKinds, isa.KindStore)
+			default:
+				bp.bodyKinds = append(bp.bodyKinds, isa.KindALU)
+			}
+		}
+
+		if i == nBlocks-1 {
+			bp.term = TermRet
+			continue
+		}
+		if bp.term == TermCond && bp.targetBB != 0 {
+			continue // already set as a rare-block guard
+		}
+		r := rng.Float64()
+		switch {
+		case r < p.CondFrac:
+			bp.term = TermCond
+			backward := i > 0 && rng.Float64() < p.BackwardFrac
+			if backward {
+				bp.targetBB = int32(rng.Intn(i + 1))
+				// Loop back-edges in server code have small trip counts;
+				// a strongly taken nested back-edge would trap execution
+				// in a tiny footprint, which server workloads never do.
+				bp.takenProb = 0.3 + 0.3*rng.Float64()
+			} else {
+				bp.targetBB = int32(pickForwardTarget(rng, i, nBlocks, plans))
+				if rng.Float64() < p.StableBiasFrac {
+					bp.stable = true
+					if rng.Float64() < 0.5 {
+						bp.takenProb = p.TakenBias
+					} else {
+						bp.takenProb = 1 - p.TakenBias
+					}
+				} else {
+					bp.takenProb = p.WeakBias
+				}
+			}
+		case r < p.CondFrac+p.JumpFrac:
+			bp.term = TermJump
+			bp.targetBB = int32(pickForwardTarget(rng, i, nBlocks, plans))
+		case r < p.CondFrac+p.JumpFrac+p.CallFrac:
+			bp.term = TermCall
+		default:
+			bp.term = TermFall
+		}
+	}
+	return plans
+}
+
+// pickForwardTarget picks a forward target, skewed to nearby blocks and
+// avoiding rare blocks when possible.
+func pickForwardTarget(rng *rand.Rand, i, nBlocks int, plans []blockPlan) int {
+	if i >= nBlocks-1 {
+		return nBlocks - 1
+	}
+	for try := 0; try < 4; try++ {
+		d := 1 + geometric(rng, 0.5)
+		t := i + d
+		if t > nBlocks-1 {
+			t = nBlocks - 1
+		}
+		if !plans[t].rare {
+			return t
+		}
+	}
+	return nBlocks - 1
+}
+
+// geometric samples a geometric random variate with success probability p
+// (support 0, 1, 2, ...).
+func geometric(rng *rand.Rand, p float64) int {
+	n := 0
+	for rng.Float64() >= p && n < 32 {
+		n++
+	}
+	return n
+}
+
+// FuncOfBlock returns the function owning the global block index.
+func (p *Program) FuncOfBlock(bb int32) *Func { return &p.Funcs[p.Blocks[bb].Func] }
+
+// NumInsts returns the total static instruction count.
+func (p *Program) NumInsts() int {
+	n := 0
+	for i := range p.Blocks {
+		n += len(p.Blocks[i].Insts)
+	}
+	return n
+}

@@ -1,0 +1,181 @@
+package cfg
+
+import (
+	"math/rand"
+
+	"dnc/internal/isa"
+)
+
+// Step is one committed instruction of the executed stream.
+type Step struct {
+	Inst isa.Inst
+	// Taken reports the outcome of conditional branches; it is true for all
+	// executed unconditional transfers.
+	Taken bool
+	// NextPC is the address of the next committed instruction.
+	NextPC isa.Addr
+	// TargetPC is the actual transfer target for taken branches (equal to
+	// NextPC); for indirect branches this is where the target becomes known.
+	TargetPC isa.Addr
+	// DataAddr is the effective address of loads/stores; 0 otherwise.
+	DataAddr isa.Addr
+}
+
+// Stream supplies a committed instruction stream to a simulated core: the
+// generator-backed Walker, or a trace replayer (internal/trace.Stream).
+type Stream interface {
+	// Next fills *s with the next committed instruction.
+	Next(s *Step)
+}
+
+// Walker executes a Program stochastically, producing the committed
+// instruction stream. A Walker is deterministic given its seed. Multiple
+// walkers with different seeds model the paper's independent measurement
+// samples and the 16 cores running the same server workload.
+type Walker struct {
+	prog  *Program
+	rng   *rand.Rand
+	cur   int32 // current block index
+	idx   int   // next instruction within the block
+	stack []int32
+
+	dataHotBase  isa.Addr
+	dataColdBase isa.Addr
+}
+
+// NewWalker returns a walker over prog seeded with seed, positioned at the
+// entry of a dispatcher-chosen function.
+func NewWalker(prog *Program, seed int64) *Walker {
+	w := &Walker{
+		prog:         prog,
+		rng:          rand.New(rand.NewSource(seed)),
+		dataHotBase:  0x2_0000_0000,
+		dataColdBase: 0x3_0000_0000,
+		stack:        make([]int32, 0, 64),
+	}
+	w.dispatch()
+	return w
+}
+
+// dispatch jumps to the entry of a new top-level function, modelling the
+// server's main request loop picking up the next piece of work.
+func (w *Walker) dispatch() {
+	p := w.prog
+	var fi int32
+	if len(p.hot) > 0 && w.rng.Float64() < p.Params.HotCallProb {
+		fi = p.hot[skewedIndex(w.rng, len(p.hot), p.Params.HotSkew)]
+	} else {
+		fi = int32(w.rng.Intn(len(p.Funcs)))
+	}
+	w.cur = p.Funcs[fi].First
+	w.idx = 0
+}
+
+// Next advances one committed instruction, filling *s.
+func (w *Walker) Next(s *Step) {
+	p := w.prog
+	blk := &p.Blocks[w.cur]
+	inst := blk.Insts[w.idx]
+	isTerm := w.idx == len(blk.Insts)-1
+
+	*s = Step{Inst: inst}
+	if inst.Kind == isa.KindLoad || inst.Kind == isa.KindStore {
+		s.DataAddr = w.dataAddr()
+	}
+
+	if !isTerm || blk.Term == TermFall {
+		// Advance within the block, or fall through to the next block.
+		if !isTerm {
+			w.idx++
+		} else {
+			w.moveTo(blk.Next)
+		}
+		s.NextPC = w.pc()
+		return
+	}
+
+	// Terminator outcomes.
+	switch blk.Term {
+	case TermCond:
+		taken := w.rng.Float64() < blk.TakenProb
+		s.Taken = taken
+		if taken {
+			w.moveTo(blk.TargetBB)
+			s.TargetPC = w.pc()
+		} else {
+			w.moveTo(blk.Next)
+		}
+	case TermJump:
+		s.Taken = true
+		w.moveTo(blk.TargetBB)
+		s.TargetPC = w.pc()
+	case TermCall:
+		if len(w.stack) >= p.Params.MaxCallDepth {
+			// Elide the call (leaf inlining): continue at the return site.
+			w.moveTo(blk.Next)
+			break
+		}
+		s.Taken = true
+		w.stack = append(w.stack, blk.Next)
+		callee := blk.Callee
+		if callee < 0 {
+			callee = w.pickIndirectCallee(blk)
+		}
+		w.moveTo(p.Funcs[callee].First)
+		s.TargetPC = w.pc()
+	case TermRet:
+		s.Taken = true
+		if n := len(w.stack); n > 0 {
+			ret := w.stack[n-1]
+			w.stack = w.stack[:n-1]
+			if ret >= 0 {
+				w.moveTo(ret)
+			} else {
+				w.dispatch()
+			}
+		} else {
+			w.dispatch()
+		}
+		s.TargetPC = w.pc()
+	}
+	s.NextPC = w.pc()
+}
+
+// pickIndirectCallee selects among an indirect call site's candidates with a
+// stable skew: the first candidate dominates, modelling mostly-monomorphic
+// virtual dispatch.
+func (w *Walker) pickIndirectCallee(blk *Block) int32 {
+	if len(blk.Callees) == 0 {
+		return 0
+	}
+	if w.rng.Float64() < 0.7 {
+		return blk.Callees[0]
+	}
+	return blk.Callees[w.rng.Intn(len(blk.Callees))]
+}
+
+// moveTo positions the walker at the start of a block. A negative index
+// (possible only for a missing fallthrough) re-dispatches.
+func (w *Walker) moveTo(bb int32) {
+	if bb < 0 {
+		w.dispatch()
+		return
+	}
+	w.cur = bb
+	w.idx = 0
+}
+
+// pc returns the address of the next instruction to execute.
+func (w *Walker) pc() isa.Addr { return w.prog.Blocks[w.cur].Insts[w.idx].PC }
+
+// dataAddr synthesises a load/store effective address with a hot/cold skew.
+func (w *Walker) dataAddr() isa.Addr {
+	p := w.prog.Params
+	if w.rng.Float64() < p.DataHotProb {
+		return w.dataHotBase + isa.Addr(w.rng.Intn(p.DataHotBytes))&^7
+	}
+	return w.dataColdBase + isa.Addr(w.rng.Intn(p.DataFootprintBytes))&^7
+}
+
+// CallDepth returns the current simulated call-stack depth.
+func (w *Walker) CallDepth() int { return len(w.stack) }

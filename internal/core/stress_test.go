@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"dnc/internal/prefetch"
+)
+
+// Failure injection: the simulator must stay live and self-consistent when
+// its structures are starved far below realistic sizes.
+
+func TestTinyMSHRFileStillProgresses(t *testing.T) {
+	cf := DefaultConfig()
+	cf.L1IMSHRs = 1 // prefetches almost never get a slot
+	c, _ := newTestCore(t, cf, prefetch.NewNXL(8, 2048))
+	runCycles(c, 20000)
+	if c.M.Retired == 0 {
+		t.Fatal("starved MSHR file deadlocked fetch")
+	}
+	// Demands always reserve a slot, so misses are still served.
+	if c.M.DemandMisses == 0 {
+		t.Fatal("no misses recorded")
+	}
+	// The prefetcher is throttled, not the demand stream.
+	generous := DefaultConfig()
+	g, _ := newTestCore(t, generous, prefetch.NewNXL(8, 2048))
+	runCycles(g, 20000)
+	if c.M.PrefetchesIssued >= g.M.PrefetchesIssued {
+		t.Fatalf("1-MSHR core issued %d prefetches, >= 32-MSHR core's %d",
+			c.M.PrefetchesIssued, g.M.PrefetchesIssued)
+	}
+}
+
+func TestTinyROB(t *testing.T) {
+	cf := DefaultConfig()
+	cf.ROBEntries = 4
+	c, _ := newTestCore(t, cf, prefetch.NewBaseline(2048))
+	runCycles(c, 20000)
+	if c.M.Retired == 0 {
+		t.Fatal("tiny ROB deadlocked")
+	}
+	if c.M.StallBackend == 0 {
+		t.Fatal("a 4-entry ROB must cause backend stalls")
+	}
+	full, _ := newTestCore(t, DefaultConfig(), prefetch.NewBaseline(2048))
+	runCycles(full, 20000)
+	if c.M.IPC() >= full.M.IPC() {
+		t.Fatalf("tiny-ROB IPC %.3f >= full-ROB %.3f", c.M.IPC(), full.M.IPC())
+	}
+}
+
+func TestNarrowFetch(t *testing.T) {
+	cf := DefaultConfig()
+	cf.FetchWidth = 1
+	cf.RetireWidth = 1
+	c, _ := newTestCore(t, cf, prefetch.NewBaseline(2048))
+	runCycles(c, 20000)
+	if c.M.Retired == 0 {
+		t.Fatal("1-wide core deadlocked")
+	}
+	if c.M.IPC() > 1.0 {
+		t.Fatalf("1-wide core IPC %.3f exceeds width", c.M.IPC())
+	}
+}
+
+func TestZeroWrongPathBlocks(t *testing.T) {
+	cf := DefaultConfig()
+	cf.WrongPathBlocks = 0
+	c, _ := newTestCore(t, cf, prefetch.NewBaseline(2048))
+	runCycles(c, 20000)
+	if c.M.WrongPathFetches != 0 {
+		t.Fatalf("wrong-path fetches with depth 0: %d", c.M.WrongPathFetches)
+	}
+	if c.M.Retired == 0 {
+		t.Fatal("no progress without wrong-path modelling")
+	}
+}
+
+func TestHugePenalties(t *testing.T) {
+	cf := DefaultConfig()
+	cf.MispredictPenalty = 200
+	cf.BTBMissPenaltyTaken = 200
+	cf.BTBMissPenaltyDecode = 200
+	c, _ := newTestCore(t, cf, prefetch.NewBaseline(2048))
+	runCycles(c, 30000)
+	if c.M.Retired == 0 {
+		t.Fatal("huge redirect penalties deadlocked the core")
+	}
+	norm, _ := newTestCore(t, DefaultConfig(), prefetch.NewBaseline(2048))
+	runCycles(norm, 30000)
+	if c.M.IPC() >= norm.M.IPC() {
+		t.Fatalf("200-cycle penalties did not hurt: %.3f >= %.3f",
+			c.M.IPC(), norm.M.IPC())
+	}
+}
+
+func TestStarvedProactiveQueues(t *testing.T) {
+	cfg := prefetch.DefaultProactiveConfig()
+	cfg.QueueDepth = 1
+	cfg.WithBTBPrefetch = true
+	c, _ := newTestCore(t, DefaultConfig(), prefetch.NewProactive(cfg))
+	runCycles(c, 20000)
+	if c.M.Retired == 0 {
+		t.Fatal("1-entry proactive queues deadlocked")
+	}
+	d := c.Design().(*prefetch.Proactive)
+	if s, di, r := d.QueueDrops(); s+di+r == 0 {
+		t.Fatal("1-entry queues never overflowed in a miss-heavy run")
+	}
+}
+
+func TestSmallL1i(t *testing.T) {
+	cf := DefaultConfig()
+	cf.L1ISizeBytes = 4 << 10 // 4 KB: extreme thrash
+	c, _ := newTestCore(t, cf, prefetch.NewSN4L(16<<10, 2048))
+	runCycles(c, 20000)
+	if c.M.Retired == 0 {
+		t.Fatal("4KB L1i deadlocked")
+	}
+	big, _ := newTestCore(t, DefaultConfig(), prefetch.NewSN4L(16<<10, 2048))
+	runCycles(big, 20000)
+	if c.M.MPKI(c.M.DemandMisses) <= big.M.MPKI(big.M.DemandMisses) {
+		t.Fatal("4KB L1i did not miss more than 32KB")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"dnc/internal/isa"
+	"dnc/internal/llc"
+	"dnc/internal/memory"
+	"dnc/internal/noc"
+)
+
+// Uncore is the shared fabric of the CMP: the banked LLC, the mesh
+// interconnect, and main memory. Cores inject requests in tick order, so
+// contention (link serialization, bandwidth queueing) is deterministic.
+type Uncore struct {
+	LLC  *llc.LLC
+	Mesh *noc.Mesh
+	DRAM *memory.DRAM
+}
+
+// NewUncore assembles the default uncore of Table III: a 32 MB 16-bank LLC
+// on a 4x4 mesh with 60 ns / 85 GB/s memory behind it.
+func NewUncore(llcCfg llc.Config) *Uncore {
+	return &Uncore{
+		LLC:  llc.New(llcCfg),
+		Mesh: noc.New(noc.DefaultConfig()),
+		DRAM: memory.New(memory.DefaultConfig()),
+	}
+}
+
+// Access performs a block fetch from tile src at the given cycle and returns
+// the cycle the fill arrives back at the requester, plus whether the LLC
+// hit. The path is: request packet over the mesh to the home bank, bank
+// access, (on a miss) memory access and LLC fill, then the data response
+// packet back.
+func (u *Uncore) Access(src int, b isa.BlockID, cycle uint64, isInst bool) (uint64, bool) {
+	bank := u.LLC.BankOf(b)
+	t := u.Mesh.Send(noc.Tile(src), noc.Tile(bank), 1, cycle)
+	t += u.LLC.AccessCycles() + u.LLC.BankDelay(b, t)
+	hit := u.LLC.Access(b, isInst)
+	if !hit {
+		t = u.DRAM.Access(t, isa.BlockBytes)
+		u.LLC.Insert(b, isInst)
+	}
+	t = u.Mesh.Send(noc.Tile(bank), noc.Tile(src), u.Mesh.FlitsFor(isa.BlockBytes), t)
+	return t, hit
+}
+
+// Preload installs the instruction footprint of an image into the LLC
+// (long-warmed state, as checkpointed full-system simulation would have).
+func (u *Uncore) Preload(im *isa.Image) {
+	first := isa.BlockOf(im.Base)
+	last := isa.BlockOf(im.End() - 1)
+	for b := first; b <= last; b++ {
+		u.LLC.Insert(b, true)
+	}
+}

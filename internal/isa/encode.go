@@ -1,0 +1,124 @@
+package isa
+
+import "fmt"
+
+// Encoding details.
+//
+// Fixed mode (4 bytes, little-endian):
+//
+//	byte0: kind (low nibble) | 0xA0 marker (high nibble)
+//	byte1..3: signed 24-bit *word* delta to the target for direct branches
+//	          (target = pc + 4*delta); zero/payload otherwise
+//
+// Variable mode (2-10 bytes):
+//
+//	byte0: kind (low 3 bits) | (size-2) << 3
+//	for direct branches (size >= 6):
+//	  byte1..4: signed 32-bit *byte* delta to the target (target = pc+delta)
+//	remaining bytes: 0x90 filler
+const (
+	fixedMarker = 0xA0
+
+	// FixedSize is the instruction size in Fixed mode.
+	FixedSize = 4
+
+	// VarMinSize and VarMaxSize bound Variable-mode instruction sizes.
+	VarMinSize = 2
+	VarMaxSize = 10
+	// VarBranchMinSize is the minimum size of a Variable-mode direct branch
+	// (opcode byte + 4 target bytes + at least one filler byte).
+	VarBranchMinSize = 6
+
+	varFiller = 0x90
+)
+
+// EncodedSizeOK reports whether size is legal for the kind in the mode.
+func EncodedSizeOK(mode Mode, kind Kind, size int) bool {
+	if mode == Fixed {
+		return size == FixedSize
+	}
+	if size < VarMinSize || size > VarMaxSize {
+		return false
+	}
+	if kind.HasEncodedTarget() {
+		return size >= VarBranchMinSize
+	}
+	return true
+}
+
+// AppendInst appends the encoding of inst to dst and returns the extended
+// slice. It panics on malformed instructions; instruction streams are built
+// by the workload generator, so a malformed instruction is a program bug.
+func AppendInst(dst []byte, mode Mode, inst Inst) []byte {
+	if !EncodedSizeOK(mode, inst.Kind, int(inst.Size)) {
+		panic(fmt.Sprintf("isa: illegal size %d for %v in %v mode", inst.Size, inst.Kind, mode))
+	}
+	if mode == Fixed {
+		var delta int32
+		if inst.Kind.HasEncodedTarget() {
+			d := (int64(inst.Target) - int64(inst.PC)) / FixedSize
+			if d < -(1<<23) || d >= (1<<23) {
+				panic(fmt.Sprintf("isa: fixed-mode branch delta %d out of range at pc %#x", d, inst.PC))
+			}
+			delta = int32(d)
+		}
+		u := uint32(delta) & 0xFFFFFF
+		return append(dst,
+			byte(fixedMarker|uint8(inst.Kind)),
+			byte(u), byte(u>>8), byte(u>>16))
+	}
+	// Variable mode.
+	dst = append(dst, byte(uint8(inst.Kind)|uint8(inst.Size-2)<<3))
+	n := int(inst.Size) - 1
+	if inst.Kind.HasEncodedTarget() {
+		d := int64(inst.Target) - int64(inst.PC)
+		if d < -(1<<31) || d >= (1<<31) {
+			panic(fmt.Sprintf("isa: variable-mode branch delta %d out of range at pc %#x", d, inst.PC))
+		}
+		u := uint32(int32(d))
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		n -= 4
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, varFiller)
+	}
+	return dst
+}
+
+// decode decodes the instruction at pc from raw code bytes. code[0] must be
+// the first byte of the instruction. It returns false if the bytes cannot be
+// a legal instruction (bad marker in fixed mode, truncated encoding, or an
+// illegal kind/size combination).
+func decode(mode Mode, pc Addr, code []byte) (Inst, bool) {
+	if len(code) == 0 {
+		return Inst{}, false
+	}
+	if mode == Fixed {
+		if len(code) < FixedSize || code[0]&0xF0 != fixedMarker {
+			return Inst{}, false
+		}
+		kind := Kind(code[0] & 0x0F)
+		if kind >= numKinds {
+			return Inst{}, false
+		}
+		inst := Inst{PC: pc, Size: FixedSize, Kind: kind}
+		if kind.HasEncodedTarget() {
+			u := uint32(code[1]) | uint32(code[2])<<8 | uint32(code[3])<<16
+			// Sign-extend 24 bits.
+			d := int32(u<<8) >> 8
+			inst.Target = Addr(int64(pc) + int64(d)*FixedSize)
+		}
+		return inst, true
+	}
+	kind := Kind(code[0] & 0x07)
+	size := int(code[0]>>3) + 2
+	if !EncodedSizeOK(mode, kind, size) || len(code) < size {
+		return Inst{}, false
+	}
+	inst := Inst{PC: pc, Size: uint8(size), Kind: kind}
+	if kind.HasEncodedTarget() {
+		u := uint32(code[1]) | uint32(code[2])<<8 | uint32(code[3])<<16 | uint32(code[4])<<24
+		inst.Target = Addr(int64(pc) + int64(int32(u)))
+	}
+	return inst, true
+}

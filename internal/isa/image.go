@@ -1,0 +1,68 @@
+package isa
+
+// Image is the raw code image of a simulated program: the bytes the
+// pre-decoder sees when it is handed a cache block. The workload generator
+// builds an Image by encoding its basic blocks; everything downstream
+// (Dis replay, BTB prefill, branch-footprint construction) decodes real
+// bytes out of it.
+type Image struct {
+	Mode Mode
+	Base Addr
+	Code []byte
+}
+
+// NewImage returns an image covering [base, base+len(code)).
+func NewImage(mode Mode, base Addr, code []byte) *Image {
+	return &Image{Mode: mode, Base: base, Code: code}
+}
+
+// End returns the first address past the image.
+func (im *Image) End() Addr { return im.Base + Addr(len(im.Code)) }
+
+// Contains reports whether the address lies inside the image.
+func (im *Image) Contains(a Addr) bool { return a >= im.Base && a < im.End() }
+
+// ContainsBlock reports whether any byte of the block lies inside the image.
+func (im *Image) ContainsBlock(b BlockID) bool {
+	base := BlockBase(b)
+	return base+BlockBytes > im.Base && base < im.End()
+}
+
+// BytesAt returns up to max bytes of code starting at address a. The returned
+// slice aliases the image; callers must not modify it. It returns nil when a
+// is outside the image.
+func (im *Image) BytesAt(a Addr, max int) []byte {
+	if !im.Contains(a) {
+		return nil
+	}
+	off := int(a - im.Base)
+	end := off + max
+	if end > len(im.Code) {
+		end = len(im.Code)
+	}
+	return im.Code[off:end]
+}
+
+// Block returns the 64 bytes of the given cache block, zero-padded where the
+// block extends past the image. It returns nil if no byte of the block is in
+// the image.
+func (im *Image) Block(b BlockID) []byte {
+	if !im.ContainsBlock(b) {
+		return nil
+	}
+	base := BlockBase(b)
+	out := make([]byte, BlockBytes)
+	for i := 0; i < BlockBytes; i++ {
+		a := base + Addr(i)
+		if im.Contains(a) {
+			out[i] = im.Code[a-im.Base]
+		}
+	}
+	return out
+}
+
+// DecodeAt decodes the instruction starting at pc. Instructions may straddle
+// block boundaries in Variable mode; decoding reads across blocks.
+func (im *Image) DecodeAt(pc Addr) (Inst, bool) {
+	return decode(im.Mode, pc, im.BytesAt(pc, VarMaxSize))
+}

@@ -1,0 +1,151 @@
+// Package isa defines the synthetic instruction-set architecture used by the
+// simulator: instruction kinds, a fixed-length (4-byte, SPARC-like) encoding,
+// a variable-length (2-10 byte, x86-like) encoding, and a block pre-decoder.
+//
+// The prefetchers in this repository never interpret program semantics; they
+// only need what real pre-decoders need from raw instruction bytes:
+//
+//   - which bytes inside a 64-byte cache block start a branch instruction,
+//   - the branch kind (conditional, unconditional, call, return, indirect),
+//   - the target of direct branches (encoded in the instruction itself).
+//
+// Both encodings provide exactly this, so the paper's pre-decoding based
+// mechanisms (Dis replay, Confluence-like BTB prefill, branch footprints for
+// variable-length ISAs) operate on genuine bytes rather than oracle metadata.
+package isa
+
+// Addr is a byte address in the simulated address space.
+type Addr uint64
+
+// BlockID identifies a 64-byte cache block (Addr >> BlockShift).
+type BlockID uint64
+
+// Cache-block geometry shared by the whole simulator.
+const (
+	BlockShift = 6
+	BlockBytes = 1 << BlockShift
+)
+
+// BlockOf returns the cache block containing the address.
+func BlockOf(a Addr) BlockID { return BlockID(a >> BlockShift) }
+
+// BlockBase returns the first byte address of a block.
+func BlockBase(b BlockID) Addr { return Addr(b) << BlockShift }
+
+// ByteOffset returns the offset of the address within its block.
+func ByteOffset(a Addr) uint { return uint(a) & (BlockBytes - 1) }
+
+// Kind classifies an instruction.
+type Kind uint8
+
+// Instruction kinds. The non-branch kinds matter only for the backend timing
+// model (loads/stores access the data hierarchy); the branch kinds drive the
+// entire frontend.
+const (
+	KindALU Kind = iota
+	KindLoad
+	KindStore
+	KindCondBranch // conditional direct branch
+	KindJump       // unconditional direct jump
+	KindCall       // direct call (pushes return address)
+	KindReturn     // return (target from return-address stack)
+	KindIndirect   // indirect unconditional jump/call target from register
+	numKinds
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindALU:
+		return "alu"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindCondBranch:
+		return "bcc"
+	case KindJump:
+		return "jmp"
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "ret"
+	case KindIndirect:
+		return "ijmp"
+	default:
+		return "?"
+	}
+}
+
+// IsBranch reports whether the kind transfers control.
+func (k Kind) IsBranch() bool {
+	return k == KindCondBranch || k == KindJump || k == KindCall ||
+		k == KindReturn || k == KindIndirect
+}
+
+// IsUnconditional reports whether the branch always redirects fetch.
+func (k Kind) IsUnconditional() bool {
+	return k == KindJump || k == KindCall || k == KindReturn || k == KindIndirect
+}
+
+// HasEncodedTarget reports whether the branch target is recoverable from the
+// instruction bytes alone (what a pre-decoder can extract without a BTB).
+func (k Kind) HasEncodedTarget() bool {
+	return k == KindCondBranch || k == KindJump || k == KindCall
+}
+
+// Inst is a decoded instruction.
+type Inst struct {
+	PC     Addr
+	Size   uint8 // bytes: 4 in fixed mode, 2..10 in variable mode
+	Kind   Kind
+	Target Addr // encoded target for direct branches; 0 otherwise
+}
+
+// IsBranch reports whether the instruction transfers control.
+func (i Inst) IsBranch() bool { return i.Kind.IsBranch() }
+
+// NextPC returns the fall-through address.
+func (i Inst) NextPC() Addr { return i.PC + Addr(i.Size) }
+
+// Branch is the pre-decoder's view of a branch inside a cache block.
+type Branch struct {
+	// Offset is the byte offset of the first byte of the branch within its
+	// cache block.
+	Offset uint8
+	Kind   Kind
+	// Target is the decoded target for direct branches, 0 for
+	// return/indirect branches whose target is not in the instruction.
+	Target Addr
+}
+
+// Mode selects the instruction encoding.
+type Mode uint8
+
+// Encoding modes.
+const (
+	// Fixed is the 4-byte fixed-length encoding (SPARC/UltraSPARC-like).
+	// Instruction boundaries inside a block are known (every 4 bytes), so a
+	// pre-decoder can decode all slots of a block in parallel.
+	Fixed Mode = iota
+	// Variable is the 2-10 byte variable-length encoding (x86-like).
+	// Instruction boundaries are unknown without sequential decode, which is
+	// why the paper's VL-ISA extension stores per-block branch footprints.
+	Variable
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Variable {
+		return "variable"
+	}
+	return "fixed"
+}
+
+// MinSize returns the minimum instruction size in bytes for the mode.
+func (m Mode) MinSize() int {
+	if m == Variable {
+		return 2
+	}
+	return 4
+}

@@ -1,0 +1,138 @@
+package isa
+
+// This file implements the pre-decoder: the hardware unit that, given the
+// raw bytes of an instruction cache block, identifies the branch
+// instructions inside it and extracts their targets. It is shared by the Dis
+// prefetcher and the BTB prefetcher, exactly as in the paper (Section V.C).
+//
+// In Fixed mode every 4-byte slot is an instruction, so a block's 16 slots
+// can be decoded in parallel. In Variable mode instruction boundaries are
+// unknown; the pre-decoder can only decode at byte offsets supplied from the
+// outside (a DisTable entry or a branch footprint), which is the paper's
+// VL-ISA design (Section V.D).
+
+// PredecodeBlock decodes all branch instructions in a block when instruction
+// boundaries are architecturally known, i.e. in Fixed mode. In Variable mode
+// it returns nil: a real pre-decoder cannot find boundaries in raw bytes,
+// and callers must use DecodeBranchAt with externally supplied offsets.
+func PredecodeBlock(im *Image, b BlockID) []Branch {
+	if im.Mode != Fixed || !im.ContainsBlock(b) {
+		return nil
+	}
+	var out []Branch
+	base := BlockBase(b)
+	for off := 0; off < BlockBytes; off += FixedSize {
+		pc := base + Addr(off)
+		inst, ok := im.DecodeAt(pc)
+		if !ok || !inst.Kind.IsBranch() {
+			continue
+		}
+		out = append(out, Branch{Offset: uint8(off), Kind: inst.Kind, Target: inst.Target})
+	}
+	return out
+}
+
+// DecodeBranchAt decodes the instruction starting at the given byte offset
+// within block b and reports whether it is a branch. This is the replay path
+// of the Dis prefetcher: the stored offset may be stale (the table is
+// partially tagged), in which case the decoded bytes are simply not a branch
+// and the prefetcher does nothing.
+func DecodeBranchAt(im *Image, b BlockID, offset uint8) (Branch, bool) {
+	pc := BlockBase(b) + Addr(offset)
+	inst, ok := im.DecodeAt(pc)
+	if !ok || !inst.Kind.IsBranch() {
+		return Branch{}, false
+	}
+	return Branch{Offset: offset, Kind: inst.Kind, Target: inst.Target}, true
+}
+
+// MaxBFBranches is the number of branch offsets a branch footprint holds.
+// Figure 8 of the paper shows four offsets cover almost all branches of a
+// block.
+const MaxBFBranches = 4
+
+// BFBits is the storage cost of one branch footprint: four 6-bit byte
+// offsets (3 bytes), per Section IV of the paper.
+const BFBits = MaxBFBranches * 6
+
+// BF is a branch footprint: the byte offsets of (up to) the first four
+// branch instructions of a cache block. It is the metadata virtualized in
+// the LLC for variable-length ISAs.
+type BF struct {
+	Count uint8
+	Off   [MaxBFBranches]uint8
+}
+
+// Add records a branch offset; offsets beyond MaxBFBranches are dropped
+// (those branches become uncoverable, which Figure 8 quantifies).
+func (f *BF) Add(offset uint8) {
+	for i := 0; i < int(f.Count); i++ {
+		if f.Off[i] == offset {
+			return
+		}
+	}
+	if int(f.Count) < MaxBFBranches {
+		f.Off[f.Count] = offset
+		f.Count++
+	}
+}
+
+// Offsets returns the recorded offsets.
+func (f BF) Offsets() []uint8 { return append([]uint8(nil), f.Off[:f.Count]...) }
+
+// Pack serialises the footprint into 27 bits (4 offsets + a 3-bit count);
+// the hardware budget counted in storage models is BFBits (24 bits), with
+// validity carried implicitly by the BF-holder entry.
+func (f BF) Pack() uint32 {
+	var u uint32
+	for i := 0; i < MaxBFBranches; i++ {
+		u |= uint32(f.Off[i]&0x3F) << (6 * i)
+	}
+	return u | uint32(f.Count&0x7)<<24
+}
+
+// UnpackBF reverses Pack.
+func UnpackBF(u uint32) BF {
+	var f BF
+	f.Count = uint8(u>>24) & 0x7
+	if f.Count > MaxBFBranches {
+		f.Count = MaxBFBranches
+	}
+	for i := 0; i < int(f.Count); i++ {
+		f.Off[i] = uint8(u>>(6*i)) & 0x3F
+	}
+	return f
+}
+
+// FootprintOf computes the branch footprint of a block plus the number of
+// branches that did not fit (the "uncovered" branches of Figure 8, measured
+// with the given capacity rather than MaxBFBranches).
+//
+// In Fixed mode it pre-decodes the block directly. In Variable mode boundary
+// knowledge must come from elsewhere, so callers pass the branch offsets
+// observed at retirement via known; FootprintOf then validates them against
+// the image bytes.
+func FootprintOf(im *Image, b BlockID, capacity int, known []uint8) (BF, int) {
+	var offsets []uint8
+	if im.Mode == Fixed {
+		for _, br := range PredecodeBlock(im, b) {
+			offsets = append(offsets, br.Offset)
+		}
+	} else {
+		for _, off := range known {
+			if _, ok := DecodeBranchAt(im, b, off); ok {
+				offsets = append(offsets, off)
+			}
+		}
+	}
+	var f BF
+	overflow := 0
+	for _, off := range offsets {
+		if int(f.Count) < capacity && int(f.Count) < MaxBFBranches {
+			f.Add(off)
+		} else {
+			overflow++
+		}
+	}
+	return f, overflow
+}

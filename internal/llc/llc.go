@@ -1,0 +1,349 @@
+// Package llc models the shared banked last-level cache, including the
+// paper's DV-LLC extension: a dynamically virtualized store for per-block
+// branch footprints (BFs) needed by the BTB prefetcher under variable-length
+// ISAs. When a set holds at least one instruction block, its (then-)LRU way
+// is re-purposed as a BF-holder; when the last instruction block leaves the
+// set, the way reverts to a normal block-holder (Section V.D).
+package llc
+
+import (
+	"fmt"
+
+	"dnc/internal/isa"
+)
+
+// Config describes the LLC.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	Banks     int
+	// AccessCycles is the bank access latency (18 in the paper).
+	AccessCycles uint64
+	// BankServiceCycles is each access's occupancy of its bank; a bank
+	// over-subscribed within a window queues later requests. Useless
+	// prefetch traffic raising the observed LLC latency (Figure 5) flows
+	// through this and the NoC contention model.
+	BankServiceCycles uint64
+	// DVEnabled turns on DV-LLC branch-footprint virtualization.
+	DVEnabled bool
+	// BFsPerSet caps how many footprints one BF-holder way stores. A 64-byte
+	// way holds 21 three-byte BFs direct-mapped by way (the paper), or 10
+	// with tags when associativity exceeds 21. Figure 9 sweeps small values.
+	BFsPerSet int
+}
+
+// DefaultConfig matches the paper's 32 MB, 16-way, 16-bank LLC.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:         32 << 20,
+		Ways:              16,
+		Banks:             16,
+		AccessCycles:      18,
+		BankServiceCycles: 8,
+		DVEnabled:         false,
+		BFsPerSet:         21,
+	}
+}
+
+type line struct {
+	block  isa.BlockID
+	valid  bool
+	lru    uint64
+	isInst bool
+}
+
+type bfEntry struct {
+	block isa.BlockID
+	bf    isa.BF
+}
+
+type set struct {
+	lines []line
+	// bfWay is the way pinned as BF-holder, or -1.
+	bfWay int
+	bfs   []bfEntry
+}
+
+// Stats are the LLC's accounting counters.
+type Stats struct {
+	InstAccesses, InstHits uint64
+	DataAccesses, DataHits uint64
+	Evictions              uint64
+	BFStores, BFStoreFails uint64
+	BFLoads, BFLoadHits    uint64
+	BFTransitions          uint64
+}
+
+// bankWindow tracks a bank's service occupancy over a 64-cycle window.
+type bankWindow struct {
+	window uint64
+	busy   uint64
+}
+
+// LLC is the shared last-level cache. Not safe for concurrent use.
+type LLC struct {
+	cfg      Config
+	banks    int
+	setsPer  int // sets per bank
+	sets     []set
+	bankOcc  []bankWindow
+	clock    uint64
+	stats    Stats
+	queueSum uint64
+}
+
+// New returns an empty LLC.
+func New(cfg Config) *LLC {
+	if cfg.SizeBytes == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.AccessCycles == 0 {
+		cfg.AccessCycles = 18
+	}
+	if cfg.BFsPerSet == 0 {
+		cfg.BFsPerSet = 21
+	}
+	totalSets := cfg.SizeBytes / (isa.BlockBytes * cfg.Ways)
+	if cfg.Banks <= 0 || totalSets%cfg.Banks != 0 {
+		panic(fmt.Sprintf("llc: %d sets not divisible into %d banks", totalSets, cfg.Banks))
+	}
+	setsPer := totalSets / cfg.Banks
+	if setsPer&(setsPer-1) != 0 {
+		panic(fmt.Sprintf("llc: sets per bank %d not a power of two", setsPer))
+	}
+	c := &LLC{
+		cfg:     cfg,
+		banks:   cfg.Banks,
+		setsPer: setsPer,
+		sets:    make([]set, totalSets),
+		bankOcc: make([]bankWindow, cfg.Banks),
+	}
+	for i := range c.sets {
+		c.sets[i] = set{lines: make([]line, cfg.Ways), bfWay: -1}
+	}
+	return c
+}
+
+// BankDelay accounts one access against the block's bank at the given cycle
+// and returns the queueing delay caused by bank over-subscription within the
+// current 64-cycle window.
+func (c *LLC) BankDelay(b isa.BlockID, cycle uint64) uint64 {
+	if c.cfg.BankServiceCycles == 0 {
+		return 0
+	}
+	bw := &c.bankOcc[c.BankOf(b)]
+	if w := cycle >> 6; w != bw.window {
+		bw.window = w
+		bw.busy = 0
+	}
+	bw.busy += c.cfg.BankServiceCycles
+	if bw.busy > 64 {
+		d := bw.busy - 64
+		c.queueSum += d
+		return d
+	}
+	return 0
+}
+
+// QueuedCycles returns cumulative bank queueing delay.
+func (c *LLC) QueuedCycles() uint64 { return c.queueSum }
+
+// Config returns the configuration.
+func (c *LLC) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *LLC) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents (used at
+// the warm-up/measurement boundary).
+func (c *LLC) ResetStats() { c.stats = Stats{} }
+
+// BankOf returns the bank (home tile) of a block.
+func (c *LLC) BankOf(b isa.BlockID) int { return int(uint64(b) % uint64(c.banks)) }
+
+func (c *LLC) setOf(b isa.BlockID) *set {
+	bank := c.BankOf(b)
+	idx := int(uint64(b)/uint64(c.banks)) & (c.setsPer - 1)
+	return &c.sets[bank*c.setsPer+idx]
+}
+
+func (s *set) find(b isa.BlockID) *line {
+	for i := range s.lines {
+		if s.lines[i].valid && s.lines[i].block == b {
+			return &s.lines[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports residency without updating recency.
+func (c *LLC) Contains(b isa.BlockID) bool { return c.setOf(b).find(b) != nil }
+
+// Access performs a demand lookup, updating recency and hit statistics.
+func (c *LLC) Access(b isa.BlockID, isInst bool) bool {
+	if isInst {
+		c.stats.InstAccesses++
+	} else {
+		c.stats.DataAccesses++
+	}
+	l := c.setOf(b).find(b)
+	if l == nil {
+		return false
+	}
+	c.clock++
+	l.lru = c.clock
+	if isInst {
+		c.stats.InstHits++
+	} else {
+		c.stats.DataHits++
+	}
+	return true
+}
+
+// Insert fills block b. In DV mode, the first instruction block entering a
+// set converts the set's LRU way into a BF-holder.
+func (c *LLC) Insert(b isa.BlockID, isInst bool) {
+	s := c.setOf(b)
+	if l := s.find(b); l != nil {
+		c.clock++
+		l.lru = c.clock
+		l.isInst = l.isInst || isInst
+		return
+	}
+	if c.cfg.DVEnabled && isInst && s.bfWay < 0 {
+		c.transitionToBFHolder(s)
+	}
+	w := c.victimWay(s)
+	if s.lines[w].valid {
+		c.stats.Evictions++
+		evictedInst := s.lines[w].isInst
+		s.dropBF(s.lines[w].block)
+		s.lines[w] = line{}
+		if evictedInst {
+			c.maybeReleaseBFHolder(s)
+		}
+	}
+	c.clock++
+	s.lines[w] = line{block: b, valid: true, lru: c.clock, isInst: isInst}
+}
+
+// victimWay picks the LRU way, skipping the pinned BF-holder.
+func (c *LLC) victimWay(s *set) int {
+	victim := -1
+	for i := range s.lines {
+		if i == s.bfWay {
+			continue
+		}
+		if !s.lines[i].valid {
+			return i
+		}
+		if victim < 0 || s.lines[i].lru < s.lines[victim].lru {
+			victim = i
+		}
+	}
+	return victim
+}
+
+// transitionToBFHolder evicts the current LRU way (if utilized) and pins it
+// as the set's BF-holder.
+func (c *LLC) transitionToBFHolder(s *set) {
+	w := c.victimWay(s)
+	if s.lines[w].valid {
+		c.stats.Evictions++
+		s.dropBF(s.lines[w].block)
+		s.lines[w] = line{}
+	}
+	s.bfWay = w
+	c.stats.BFTransitions++
+}
+
+// maybeReleaseBFHolder reverts the BF-holder way to a block-holder when the
+// set no longer contains instruction blocks.
+func (c *LLC) maybeReleaseBFHolder(s *set) {
+	if s.bfWay < 0 {
+		return
+	}
+	for i := range s.lines {
+		if s.lines[i].valid && s.lines[i].isInst {
+			return
+		}
+	}
+	s.bfWay = -1
+	s.bfs = s.bfs[:0]
+}
+
+func (s *set) dropBF(b isa.BlockID) {
+	for i := range s.bfs {
+		if s.bfs[i].block == b {
+			s.bfs[i] = s.bfs[len(s.bfs)-1]
+			s.bfs = s.bfs[:len(s.bfs)-1]
+			return
+		}
+	}
+}
+
+// StoreBF records the branch footprint of a resident instruction block in
+// the set's BF-holder. It reports whether the footprint was stored; failures
+// (no BF-holder, block not resident, holder full) are the "uncovered"
+// footprints of Figure 9.
+func (c *LLC) StoreBF(b isa.BlockID, bf isa.BF) bool {
+	c.stats.BFStores++
+	s := c.setOf(b)
+	if !c.cfg.DVEnabled || s.bfWay < 0 || s.find(b) == nil {
+		c.stats.BFStoreFails++
+		return false
+	}
+	for i := range s.bfs {
+		if s.bfs[i].block == b {
+			s.bfs[i].bf = bf
+			return true
+		}
+	}
+	if len(s.bfs) >= c.cfg.BFsPerSet || len(s.bfs) >= c.cfg.Ways-1 {
+		c.stats.BFStoreFails++
+		return false
+	}
+	s.bfs = append(s.bfs, bfEntry{block: b, bf: bf})
+	return true
+}
+
+// LoadBF fetches the stored footprint of a block, as done alongside the
+// block's data response on an L1i fill from the LLC.
+func (c *LLC) LoadBF(b isa.BlockID) (isa.BF, bool) {
+	c.stats.BFLoads++
+	s := c.setOf(b)
+	for i := range s.bfs {
+		if s.bfs[i].block == b {
+			c.stats.BFLoadHits++
+			return s.bfs[i].bf, true
+		}
+	}
+	return isa.BF{}, false
+}
+
+// InstBlocks returns the number of resident instruction blocks (test hook).
+func (c *LLC) InstBlocks() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i].lines {
+			if c.sets[i].lines[j].valid && c.sets[i].lines[j].isInst {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BFHolderSets returns how many sets currently pin a BF-holder way.
+func (c *LLC) BFHolderSets() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].bfWay >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AccessCycles returns the configured bank latency.
+func (c *LLC) AccessCycles() uint64 { return c.cfg.AccessCycles }

@@ -1,0 +1,109 @@
+package noc
+
+import "testing"
+
+func TestHops(t *testing.T) {
+	m := New(DefaultConfig())
+	cases := []struct {
+		src, dst Tile
+		want     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1},  // one row down
+		{0, 15, 6}, // 3 east + 3 south
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	// 1-flit control packet over 3 hops: 3 hops * 3 cycles + 0 tail.
+	got := m.Send(0, 3, 1, 100)
+	if got != 100+9 {
+		t.Errorf("3-hop 1-flit delivery at %d, want %d", got, 109)
+	}
+	m.Reset()
+	// 5-flit data response over 1 hop: 3 + 4 tail cycles.
+	got = m.Send(0, 1, 5, 0)
+	if got != 3+4 {
+		t.Errorf("1-hop 5-flit delivery at %d, want 7", got)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	m := New(DefaultConfig())
+	if got := m.Send(2, 2, 5, 10); got != 11 {
+		t.Errorf("local delivery at %d, want 11", got)
+	}
+	if m.Flits() != 0 {
+		t.Errorf("local delivery counted link flits: %d", m.Flits())
+	}
+}
+
+func TestContention(t *testing.T) {
+	m := New(DefaultConfig())
+	// Light load within a window incurs no delay.
+	a := m.Send(0, 1, 5, 0)
+	b := m.Send(0, 1, 5, 0)
+	if b != a {
+		t.Errorf("lightly loaded link delayed a packet: a=%d b=%d", a, b)
+	}
+	// Over-subscribing the 64-flit window delays later packets.
+	var last uint64
+	for i := 0; i < 20; i++ {
+		last = m.Send(0, 1, 5, 0)
+	}
+	if last <= a {
+		t.Errorf("over-subscribed link did not delay: first=%d last=%d", a, last)
+	}
+	if m.QueuedCycles() == 0 {
+		t.Error("no queueing recorded under over-subscription")
+	}
+	// A new window clears the congestion.
+	fresh := m.Send(0, 1, 5, 1<<20)
+	if fresh != 1<<20+7 {
+		t.Errorf("new window still congested: %d", fresh)
+	}
+}
+
+func TestDisjointPathsDoNotInterfere(t *testing.T) {
+	m := New(DefaultConfig())
+	a := m.Send(0, 1, 5, 0)
+	b := m.Send(4, 5, 5, 0) // different row, disjoint links
+	if a != b {
+		t.Errorf("disjoint paths interfered: a=%d b=%d", a, b)
+	}
+}
+
+func TestFlitsFor(t *testing.T) {
+	m := New(DefaultConfig())
+	if m.FlitsFor(0) != 1 {
+		t.Errorf("control packet flits = %d, want 1", m.FlitsFor(0))
+	}
+	if m.FlitsFor(64) != 5 {
+		t.Errorf("data packet flits = %d, want 5", m.FlitsFor(64))
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Send(0, 15, 5, 0)
+	if m.Packets() != 1 || m.Flits() != 30 { // 6 hops * 5 flits
+		t.Errorf("packets=%d flits=%d", m.Packets(), m.Flits())
+	}
+	m.Reset()
+	if m.Packets() != 0 || m.Flits() != 0 || m.QueuedCycles() != 0 {
+		t.Error("reset incomplete")
+	}
+	// After reset, zero-load latency is restored.
+	if got := m.Send(0, 1, 1, 0); got != 3 {
+		t.Errorf("post-reset latency %d, want 3", got)
+	}
+}

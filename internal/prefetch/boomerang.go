@@ -1,0 +1,268 @@
+package prefetch
+
+import (
+	"dnc/internal/btb"
+	"dnc/internal/isa"
+)
+
+// Boomerang (Kumar et al., HPCA 2017) is the BTB-directed prefetcher that
+// revived fetch-directed instruction prefetching: a basic-block-oriented BTB
+// walked ahead of fetch by the branch prediction unit fills a fetch target
+// queue (FTQ); blocks entering the FTQ are prefetched, and BTB misses are
+// repaired reactively by fetching and pre-decoding the missing block. While
+// a BTB miss is being repaired the engine cannot insert into the FTQ — the
+// dependence on BTB content the paper's Section III criticizes.
+type Boomerang struct {
+	Base
+	bb *btb.BBBTB
+	// bypc mirrors BB entries keyed by branch PC for the core's per-branch
+	// target lookups; it is the same logical BTB viewed by tag.
+	bypc *btb.Table[btb.Entry]
+	rec  *bbRecorder
+	q    *ftq
+
+	walkPC    isa.Addr
+	walkValid bool
+	stalled   bool
+	stalledOn isa.BlockID
+	specRAS   []isa.Addr
+
+	// WalkBudget is how many basic blocks the engine advances per cycle.
+	WalkBudget int
+
+	// ReactiveFills, Squashes and EnginePrefetches count engine activity.
+	ReactiveFills    uint64
+	Squashes         uint64
+	EnginePrefetches uint64
+}
+
+// BoomerangConfig sizes the design.
+type BoomerangConfig struct {
+	BTBEntries, BTBWays int
+	FTQEntries          int
+	WalkBudget          int
+}
+
+// DefaultBoomerangConfig matches the paper's modelling: a 2K-entry
+// basic-block BTB and a 32-entry FTQ.
+func DefaultBoomerangConfig() BoomerangConfig {
+	return BoomerangConfig{BTBEntries: 2048, BTBWays: 4, FTQEntries: 32, WalkBudget: 2}
+}
+
+// NewBoomerang builds the design.
+func NewBoomerang(cfg BoomerangConfig) *Boomerang {
+	if cfg.BTBEntries == 0 {
+		cfg = DefaultBoomerangConfig()
+	}
+	d := &Boomerang{
+		bb:         btb.NewBBBTB(cfg.BTBEntries, cfg.BTBWays),
+		bypc:       btb.NewTable[btb.Entry](cfg.BTBEntries, cfg.BTBWays),
+		q:          newFTQ(cfg.FTQEntries),
+		WalkBudget: cfg.WalkBudget,
+	}
+	d.rec = newBBRecorder(0, d.insertBB)
+	return d
+}
+
+// Name implements Design.
+func (*Boomerang) Name() string { return "boomerang" }
+
+// insertBB installs a basic block into both views of the BTB.
+func (d *Boomerang) insertBB(start isa.Addr, e btb.BBEntry) {
+	d.bb.Insert(start, e)
+	if e.Kind.IsBranch() {
+		d.bypc.Insert(e.BranchPC, btb.Entry{Kind: e.Kind, Target: e.Target})
+	}
+}
+
+// BTBLookup implements Design (core-side per-branch view).
+func (d *Boomerang) BTBLookup(pc isa.Addr, kind isa.Kind) (isa.Addr, bool) {
+	if e, ok := d.bypc.Lookup(pc); ok {
+		return e.Target, true
+	}
+	return 0, false
+}
+
+// BTBCommit implements Design: commit-time training happens through
+// OnRetire's basic-block recorder; per-branch commits keep the by-PC view
+// warm for branches whose block boundaries were disturbed by redirects.
+func (d *Boomerang) BTBCommit(pc isa.Addr, kind isa.Kind, target isa.Addr, taken bool) {
+	if kind == isa.KindCondBranch && !taken {
+		if _, ok := d.bypc.Peek(pc); ok {
+			return
+		}
+	}
+	d.bypc.Insert(pc, btb.Entry{Kind: kind, Target: target})
+}
+
+// OnRetire implements Design.
+func (d *Boomerang) OnRetire(inst isa.Inst, taken bool, target isa.Addr) {
+	d.rec.retire(inst, taken, target)
+}
+
+// FTQGate implements Design: fetch may proceed into pc's block only when the
+// engine has delivered it at the FTQ head.
+func (d *Boomerang) FTQGate(pc isa.Addr) bool {
+	b := isa.BlockOf(pc)
+	if h, ok := d.q.head(); ok {
+		if h == b {
+			d.q.pop()
+			return true
+		}
+		// The engine walked a diverging path: squash and restart here.
+		d.Squashes++
+		d.restart(pc)
+		return false
+	}
+	if !d.walkValid && !d.stalled {
+		d.restart(pc)
+	}
+	return false
+}
+
+// OnRedirect implements Design.
+func (d *Boomerang) OnRedirect(pc isa.Addr) {
+	d.restart(pc)
+	d.rec.redirect(pc)
+}
+
+func (d *Boomerang) restart(pc isa.Addr) {
+	d.q.reset()
+	d.specRAS = d.specRAS[:0]
+	d.stalled = false
+	d.walkPC = pc
+	d.walkValid = true
+}
+
+// OnFill implements Design: a fill repairing a reactive BTB miss lets the
+// engine decode and resume.
+func (d *Boomerang) OnFill(b isa.BlockID, prefetch bool) {
+	if d.stalled && b == d.stalledOn {
+		d.resumeFromFill()
+	}
+}
+
+func (d *Boomerang) resumeFromFill() {
+	d.stalled = false
+	brs := d.E().Predecode(d.stalledOn)
+	e := bbFromPredecode(d.walkPC, brs)
+	d.insertBB(d.walkPC, e)
+	d.ReactiveFills++
+}
+
+// Tick implements Design: advance the walk, filling the FTQ and prefetching
+// its blocks.
+func (d *Boomerang) Tick() {
+	env := d.E()
+	if d.stalled {
+		// Retry a reactive fill whose prefetch could not be issued.
+		if env.L1iContains(d.stalledOn) {
+			d.resumeFromFill()
+		} else if !env.InFlight(d.stalledOn) {
+			env.IssuePrefetch(d.stalledOn, false)
+		}
+		return
+	}
+	if !d.walkValid {
+		return
+	}
+	budget := d.WalkBudget
+	if budget == 0 {
+		budget = 2
+	}
+	for i := 0; i < budget; i++ {
+		if d.q.full() || d.stalled || !d.walkValid {
+			return
+		}
+		d.walkOne()
+	}
+}
+
+// walkOne advances the engine by one basic block.
+func (d *Boomerang) walkOne() {
+	env := d.E()
+	start := d.walkPC
+	e, ok := d.bb.Lookup(start)
+	if !ok {
+		// BTB miss: reactive repair. The engine stops inserting into the
+		// FTQ until the block arrives and is pre-decoded.
+		b := isa.BlockOf(start)
+		if env.L1iContains(b) {
+			brs := env.Predecode(b)
+			bb := bbFromPredecode(start, brs)
+			d.insertBB(start, bb)
+			d.ReactiveFills++
+			return // decoded this cycle; walk resumes next cycle
+		}
+		d.stalled = true
+		d.stalledOn = b
+		if !env.InFlight(b) {
+			env.IssuePrefetch(b, false)
+		}
+		return
+	}
+
+	d.enqueueSpan(start, e)
+
+	switch e.Kind {
+	case isa.KindALU:
+		d.walkPC = e.Fallthrough(start)
+	case isa.KindCondBranch:
+		if env.PredictTaken(e.BranchPC) {
+			d.walkPC = e.Target
+		} else {
+			d.walkPC = e.Fallthrough(start)
+		}
+	case isa.KindJump:
+		d.walkPC = e.Target
+	case isa.KindCall:
+		d.pushRAS(e.Fallthrough(start))
+		d.walkPC = e.Target
+	case isa.KindReturn:
+		if n := len(d.specRAS); n > 0 {
+			d.walkPC = d.specRAS[n-1]
+			d.specRAS = d.specRAS[:n-1]
+		} else {
+			// Nothing to follow: wait for the next redirect.
+			d.walkValid = false
+		}
+	case isa.KindIndirect:
+		if e.Target != 0 {
+			d.pushRAS(e.Fallthrough(start)) // indirect call site
+			d.walkPC = e.Target
+		} else {
+			d.walkValid = false
+		}
+	}
+}
+
+func (d *Boomerang) pushRAS(ret isa.Addr) {
+	const depth = 16
+	if len(d.specRAS) == depth {
+		copy(d.specRAS, d.specRAS[1:])
+		d.specRAS = d.specRAS[:depth-1]
+	}
+	d.specRAS = append(d.specRAS, ret)
+}
+
+// enqueueSpan pushes every block the basic block touches into the FTQ and
+// prefetches the absent ones.
+func (d *Boomerang) enqueueSpan(start isa.Addr, e btb.BBEntry) {
+	env := d.E()
+	first := isa.BlockOf(start)
+	last := isa.BlockOf(start + isa.Addr(e.Size) - 1)
+	for b := first; b <= last; b++ {
+		d.q.push(b)
+		if !env.L1iContains(b) && !env.InFlight(b) {
+			if env.IssuePrefetch(b, false) {
+				d.EnginePrefetches++
+			}
+		}
+	}
+}
+
+// StorageBits implements Design: the basic-block BTB extensions over a
+// conventional BTB (size + kind per entry) plus the FTQ.
+func (d *Boomerang) StorageBits() int {
+	return d.bb.Entries()*(7+3) + d.q.cap*46
+}

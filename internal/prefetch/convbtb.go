@@ -1,0 +1,89 @@
+package prefetch
+
+import (
+	"dnc/internal/btb"
+	"dnc/internal/isa"
+)
+
+// ConvBTB is the conventional program-counter-indexed BTB front used by the
+// baseline, the sequential designs, the proposed design, and Confluence. It
+// optionally consults a BTB prefetch buffer on misses, promoting a hit
+// block's branches into the BTB (Section V.C).
+type ConvBTB struct {
+	BTB *btb.BTB
+	// PB is the optional BTB prefetch buffer; nil disables prefill.
+	PB *btb.PrefetchBuffer
+
+	// PBPromotions counts misses saved by the prefetch buffer.
+	PBPromotions uint64
+}
+
+// NewConvBTB returns a conventional BTB of the given capacity.
+func NewConvBTB(entries, ways int) *ConvBTB {
+	return &ConvBTB{BTB: btb.New(entries, ways)}
+}
+
+// Lookup implements the BTBLookup contract over a conventional BTB.
+func (c *ConvBTB) Lookup(pc isa.Addr, kind isa.Kind) (isa.Addr, bool) {
+	if e, ok := c.BTB.Lookup(pc); ok {
+		return e.Target, true
+	}
+	if c.PB == nil {
+		return 0, false
+	}
+	// A prefetch-buffer hit moves the whole block's branches into the BTB.
+	brs, ok := c.PB.TakeBlock(isa.BlockOf(pc))
+	if !ok {
+		return 0, false
+	}
+	c.PBPromotions++
+	var target isa.Addr
+	found := false
+	base := isa.BlockBase(isa.BlockOf(pc))
+	for _, br := range brs {
+		brPC := base + isa.Addr(br.Offset)
+		c.BTB.Insert(brPC, btb.Entry{Kind: br.Kind, Target: br.Target})
+		if brPC == pc {
+			target = br.Target
+			found = true
+		}
+	}
+	return target, found
+}
+
+// Commit trains the BTB with a resolved branch.
+func (c *ConvBTB) Commit(pc isa.Addr, kind isa.Kind, target isa.Addr, taken bool) {
+	if !taken && kind == isa.KindCondBranch {
+		// Not-taken conditionals still allocate so future taken outcomes
+		// have a target; matches common BTB allocate-on-decode policy.
+		if _, ok := c.BTB.Peek(pc); !ok {
+			c.BTB.Insert(pc, btb.Entry{Kind: kind, Target: target})
+		}
+		return
+	}
+	c.BTB.Insert(pc, btb.Entry{Kind: kind, Target: target})
+}
+
+// Baseline is the no-prefetch design: a conventional BTB and nothing else.
+type Baseline struct {
+	Base
+	btb *ConvBTB
+}
+
+// NewBaseline returns the baseline design with a BTB of the given entries.
+func NewBaseline(btbEntries int) *Baseline {
+	return &Baseline{btb: NewConvBTB(btbEntries, 4)}
+}
+
+// Name implements Design.
+func (*Baseline) Name() string { return "baseline" }
+
+// BTBLookup implements Design.
+func (d *Baseline) BTBLookup(pc isa.Addr, kind isa.Kind) (isa.Addr, bool) {
+	return d.btb.Lookup(pc, kind)
+}
+
+// BTBCommit implements Design.
+func (d *Baseline) BTBCommit(pc isa.Addr, kind isa.Kind, target isa.Addr, taken bool) {
+	d.btb.Commit(pc, kind, target, taken)
+}

@@ -1,0 +1,140 @@
+// Package prefetch implements every frontend design evaluated in the paper:
+// the baseline (no prefetching), the sequential family (NL, N2L, N4L, N8L),
+// the proposed SN4L, Dis, proactive SN4L+Dis and SN4L+Dis+BTB, a
+// conventional discontinuity prefetcher, the temporal Confluence/SHIFT
+// upper-bound configuration, and the BTB-directed Boomerang and Shotgun.
+//
+// A Design bundles a prefetch engine with its BTB organization; the core
+// (internal/core) drives it through the hooks below and supplies the Env
+// capabilities (cache probes, prefetch issue, pre-decoding).
+package prefetch
+
+import (
+	"dnc/internal/cache"
+	"dnc/internal/isa"
+)
+
+// Env is the frontend environment a Design operates in, implemented by the
+// simulated core. All cache probes are counted toward the design's cache
+// lookups (Figure 14).
+type Env interface {
+	// Cycle returns the current core cycle.
+	Cycle() uint64
+
+	// L1iContains probes the instruction cache tag array (counted as a
+	// cache lookup) without disturbing replacement state.
+	L1iContains(b isa.BlockID) bool
+
+	// L1iLine returns the resident line's metadata, or nil (not counted as
+	// a lookup; models the local prefetch-status bits stored with lines).
+	L1iLine(b isa.BlockID) *cache.Line
+
+	// InFlight reports an outstanding miss for b.
+	InFlight(b isa.BlockID) bool
+
+	// IssuePrefetch sends a prefetch for b to the memory hierarchy. It
+	// reports false if the block is resident, already in flight, or no MSHR
+	// is available. The issued fill arrives into the L1i (the proposed
+	// design prefetches directly into the cache) unless buffered is true,
+	// in which case it lands in the design's prefetch buffer (Shotgun).
+	IssuePrefetch(b isa.BlockID, buffered bool) bool
+
+	// Predecode returns the branches of a block, decoding its raw bytes.
+	// For fixed-length ISAs the whole block decodes in parallel; for
+	// variable-length ISAs the offsets come from the virtualized branch
+	// footprint, and nil is returned when no footprint is available.
+	Predecode(b isa.BlockID) []isa.Branch
+
+	// DecodeBranchAt decodes a single instruction at a byte offset and
+	// reports whether it is a branch (the Dis replay path).
+	DecodeBranchAt(b isa.BlockID, off uint8) (isa.Branch, bool)
+
+	// PredictTaken consults the core's direction predictor without
+	// updating it (used by BTB-directed engines walking ahead of fetch).
+	PredictTaken(pc isa.Addr) bool
+}
+
+// Design is a frontend configuration: BTB organization plus prefetcher.
+type Design interface {
+	// Name identifies the design in reports.
+	Name() string
+
+	// Bind attaches the core environment before simulation starts.
+	Bind(env Env)
+
+	// BTBLookup is consulted by the fetch unit when it reaches a branch.
+	// It returns the predicted target (meaningful for taken paths) and
+	// whether the branch was known to the BTB organization.
+	BTBLookup(pc isa.Addr, kind isa.Kind) (isa.Addr, bool)
+
+	// BTBCommit trains the BTB organization with a resolved branch.
+	BTBCommit(pc isa.Addr, kind isa.Kind, target isa.Addr, taken bool)
+
+	// OnDemand observes a demand block transition in fetch. hit reports an
+	// L1i hit; last2 are the PCs of the two most recently fetched
+	// instructions (used by Dis recording, per the SPARC delay slot).
+	OnDemand(b isa.BlockID, hit bool, last2 [2]isa.Addr)
+
+	// OnFill observes a block fill arriving at the L1i; prefetch marks
+	// prefetcher-initiated fills.
+	OnFill(b isa.BlockID, prefetch bool)
+
+	// OnEvict observes an L1i eviction.
+	OnEvict(ev cache.Evicted)
+
+	// OnRetire observes committed instructions (for footprint/metadata
+	// construction from the retired stream).
+	OnRetire(inst isa.Inst, taken bool, target isa.Addr)
+
+	// FTQGate reports whether fetch may proceed into the block holding pc.
+	// Designs without a fetch-directing engine always return true;
+	// BTB-directed designs return false while their fetch target queue has
+	// not yet delivered that block (the empty-FTQ stall of Table I).
+	FTQGate(pc isa.Addr) bool
+
+	// OnRedirect informs the design that fetch redirected to pc (branch
+	// misprediction, BTB-miss resolution, or FTQ divergence).
+	OnRedirect(pc isa.Addr)
+
+	// Tick advances the design by one cycle (queue processing).
+	Tick()
+
+	// StorageBits returns the design's per-core metadata storage budget in
+	// bits (Table II).
+	StorageBits() int
+}
+
+// Base provides no-op defaults for Design hooks; concrete designs embed it.
+type Base struct {
+	env Env
+}
+
+// Bind implements Design.
+func (b *Base) Bind(env Env) { b.env = env }
+
+// E returns the bound environment.
+func (b *Base) E() Env { return b.env }
+
+// OnDemand implements Design.
+func (*Base) OnDemand(isa.BlockID, bool, [2]isa.Addr) {}
+
+// OnFill implements Design.
+func (*Base) OnFill(isa.BlockID, bool) {}
+
+// OnEvict implements Design.
+func (*Base) OnEvict(cache.Evicted) {}
+
+// OnRetire implements Design.
+func (*Base) OnRetire(isa.Inst, bool, isa.Addr) {}
+
+// FTQGate implements Design.
+func (*Base) FTQGate(isa.Addr) bool { return true }
+
+// OnRedirect implements Design.
+func (*Base) OnRedirect(isa.Addr) {}
+
+// Tick implements Design.
+func (*Base) Tick() {}
+
+// StorageBits implements Design.
+func (*Base) StorageBits() int { return 0 }

@@ -1,0 +1,188 @@
+package prefetch
+
+import (
+	"dnc/internal/cache"
+	"dnc/internal/isa"
+)
+
+// SeqTable is SN4L's per-block usefulness predictor: a direct-mapped,
+// tagless, 1-bit-per-entry table. Entry A holds the sequential-prefetch
+// status of the block hashing to A; the four subsequent blocks of A live in
+// entries A+1..A+4 (Section V.A). All entries start set, so every block is
+// prefetched the first time.
+type SeqTable struct {
+	bits []uint64
+	mask uint64
+	n    int
+}
+
+// NewSeqTable returns a table with the given entry count (power of two).
+// Pass 0 entries for an unlimited table (one dedicated entry per block, the
+// reference point of Figure 11).
+func NewSeqTable(entries int) *SeqTable {
+	if entries == 0 {
+		// Unlimited: a large sparse space; 2^26 blocks (4 GiB of code) is
+		// far beyond any generated footprint and keeps indices unique.
+		entries = 1 << 26
+	}
+	if entries&(entries-1) != 0 {
+		panic("prefetch: SeqTable entries must be a power of two")
+	}
+	t := &SeqTable{bits: make([]uint64, entries/64+1), mask: uint64(entries - 1), n: entries}
+	for i := range t.bits {
+		t.bits[i] = ^uint64(0)
+	}
+	return t
+}
+
+// Entries returns the table capacity.
+func (t *SeqTable) Entries() int { return t.n }
+
+func (t *SeqTable) idx(b isa.BlockID) uint64 { return uint64(b) & t.mask }
+
+// Get returns the prefetch status of block b.
+func (t *SeqTable) Get(b isa.BlockID) bool {
+	i := t.idx(b)
+	return t.bits[i/64]&(1<<(i%64)) != 0
+}
+
+// Set marks block b useful to prefetch.
+func (t *SeqTable) Set(b isa.BlockID) {
+	i := t.idx(b)
+	t.bits[i/64] |= 1 << (i % 64)
+}
+
+// Reset marks block b not useful.
+func (t *SeqTable) Reset(b isa.BlockID) {
+	i := t.idx(b)
+	t.bits[i/64] &^= 1 << (i % 64)
+}
+
+// Nibble returns the packed status of b+1..b+4 (bit i-1 for block b+i) —
+// the 4-bit local prefetch status cached with each L1i line to avoid
+// SeqTable lookups on every access.
+func (t *SeqTable) Nibble(b isa.BlockID) uint8 {
+	var n uint8
+	for i := 1; i <= 4; i++ {
+		if t.Get(b + isa.BlockID(i)) {
+			n |= 1 << (i - 1)
+		}
+	}
+	return n
+}
+
+// refreshLocal propagates a SeqTable update for block b into the cached
+// local-status nibbles of the up to four resident predecessor lines. The
+// write port that updates entry b snoops the local copies; without this a
+// stale 0 bit in a long-resident line would suppress a now-useful prefetch
+// for that line's whole residency.
+func refreshLocal(env Env, t *SeqTable, b isa.BlockID) {
+	v := t.Get(b)
+	for i := 1; i <= 4; i++ {
+		if isa.BlockID(i) > b {
+			break
+		}
+		line := env.L1iLine(b - isa.BlockID(i))
+		if line == nil {
+			continue
+		}
+		bit := uint8(1) << (i - 1)
+		if v {
+			line.Aux |= bit
+		} else {
+			line.Aux &^= bit
+		}
+	}
+}
+
+// SN4L is the selective next-four-line prefetcher: an N4L whose candidates
+// are filtered by the SeqTable usefulness predictor. It prefetches directly
+// into the L1i and needs no prefetch buffer.
+type SN4L struct {
+	Base
+	btb *ConvBTB
+	seq *SeqTable
+
+	// UsefulHits counts demand hits on prefetched lines; Issued counts
+	// prefetches sent.
+	UsefulHits uint64
+	Issued     uint64
+}
+
+// NewSN4L returns a standalone SN4L design. seqEntries is the SeqTable size
+// (paper: 16K entries = 2KB); 0 means unlimited.
+func NewSN4L(seqEntries, btbEntries int) *SN4L {
+	return &SN4L{btb: NewConvBTB(btbEntries, 4), seq: NewSeqTable(seqEntries)}
+}
+
+// Name implements Design.
+func (*SN4L) Name() string { return "SN4L" }
+
+// Table exposes the SeqTable (shared with the proactive engine).
+func (d *SN4L) Table() *SeqTable { return d.seq }
+
+// BTBLookup implements Design.
+func (d *SN4L) BTBLookup(pc isa.Addr, kind isa.Kind) (isa.Addr, bool) {
+	return d.btb.Lookup(pc, kind)
+}
+
+// BTBCommit implements Design.
+func (d *SN4L) BTBCommit(pc isa.Addr, kind isa.Kind, target isa.Addr, taken bool) {
+	d.btb.Commit(pc, kind, target, taken)
+}
+
+// OnDemand implements Design: update metadata and prefetch useful
+// subsequents.
+func (d *SN4L) OnDemand(b isa.BlockID, hit bool, _ [2]isa.Addr) {
+	env := d.E()
+	var nib uint8
+	if hit {
+		line := env.L1iLine(b)
+		// Demand to a prefetched block: mark useful, clear the flag.
+		if line.Flags&cache.FlagPrefetched != 0 {
+			line.Flags &^= cache.FlagPrefetched
+			d.seq.Set(b)
+			refreshLocal(env, d.seq, b)
+			d.UsefulHits++
+		}
+		nib = line.Aux
+	} else {
+		// A missed block is always worth prefetching next time.
+		d.seq.Set(b)
+		refreshLocal(env, d.seq, b)
+		// The block is not resident, so the local status is unavailable;
+		// read the SeqTable directly.
+		nib = d.seq.Nibble(b)
+	}
+	for i := 1; i <= 4; i++ {
+		if nib&(1<<(i-1)) == 0 {
+			continue
+		}
+		nb := b + isa.BlockID(i)
+		if env.L1iContains(nb) || env.InFlight(nb) {
+			continue
+		}
+		if env.IssuePrefetch(nb, false) {
+			d.Issued++
+		}
+	}
+}
+
+// OnFill implements Design: latch the local prefetch status beside the line.
+func (d *SN4L) OnFill(b isa.BlockID, prefetch bool) {
+	if line := d.E().L1iLine(b); line != nil {
+		line.Aux = d.seq.Nibble(b)
+	}
+}
+
+// OnEvict implements Design: a prefetched line evicted without a demand hit
+// was a useless prefetch.
+func (d *SN4L) OnEvict(ev cache.Evicted) {
+	if ev.Flags&cache.FlagPrefetched != 0 {
+		d.seq.Reset(ev.Block)
+		refreshLocal(d.E(), d.seq, ev.Block)
+	}
+}
+
+// StorageBits implements Design: 1 bit per SeqTable entry.
+func (d *SN4L) StorageBits() int { return d.seq.Entries() }

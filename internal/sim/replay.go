@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+
+	wl "dnc/internal/cfg"
+	"dnc/internal/core"
+	"dnc/internal/isa"
+	"dnc/internal/llc"
+	"dnc/internal/prefetch"
+	"dnc/internal/trace"
+)
+
+// RunTrace executes a simulation whose cores replay a recorded trace
+// instead of walking the workload live. The trace must have been produced
+// from the same workload parameters (cmd/tracegen), because the code image
+// — needed by the pre-decoder and the wrong-path model — is regenerated
+// from rc.Workload. Each core starts at a different offset into the trace
+// to de-correlate the replicas, and loops when the trace ends.
+func RunTrace(rc RunConfig, tracePath string) (Result, error) {
+	if rc.Cores == 0 {
+		rc.Cores = 4
+	}
+	if rc.WarmCycles == 0 {
+		rc.WarmCycles = 200_000
+	}
+	if rc.MeasureCycles == 0 {
+		rc.MeasureCycles = 200_000
+	}
+	if rc.Core.FetchWidth == 0 {
+		rc.Core = core.DefaultConfig()
+	}
+	if rc.LLC.SizeBytes == 0 {
+		rc.LLC = llc.DefaultConfig()
+		// Variable-length workloads need the DV-LLC for branch footprints;
+		// an explicitly supplied LLC configuration is taken as-is (the
+		// Section VII.J experiment compares DV on against DV off).
+		if rc.Workload.Mode == isa.Variable {
+			rc.LLC.DVEnabled = true
+		}
+	}
+
+	prog := Program(rc.Workload)
+	uncore := core.NewUncore(rc.LLC)
+	if !rc.NoPreload {
+		uncore.Preload(prog.Image)
+	}
+
+	// skipStride de-correlates the replicas replaying one trace.
+	const skipStride = 100_000
+
+	cores := make([]*core.Core, rc.Cores)
+	designs := make([]prefetch.Design, rc.Cores)
+	files := make([]*os.File, 0, rc.Cores)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for i := range cores {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: opening trace: %w", err)
+		}
+		files = append(files, f)
+		stream, err := trace.NewStream(f, uint64(i)*skipStride)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: trace stream: %w", err)
+		}
+		if stream.Mode() != rc.Workload.Mode {
+			return Result{}, fmt.Errorf("sim: trace mode %v does not match workload mode %v",
+				stream.Mode(), rc.Workload.Mode)
+		}
+		cc := rc.Core
+		cc.Tile = i
+		d := rc.NewDesign()
+		designs[i] = d
+		cores[i] = core.New(cc, stream, prog.Image, d, uncore)
+	}
+
+	for t := uint64(0); t < rc.WarmCycles; t++ {
+		for _, c := range cores {
+			c.Tick()
+		}
+	}
+	for _, c := range cores {
+		c.ResetMetrics()
+	}
+	uncore.LLC.ResetStats()
+	uncore.Mesh.ResetStats()
+	uncore.DRAM.ResetStats()
+	for t := uint64(0); t < rc.MeasureCycles; t++ {
+		for _, c := range cores {
+			c.Tick()
+		}
+	}
+
+	res := Result{
+		Workload:    rc.Workload.Name,
+		Design:      designs[0].Name(),
+		PerCore:     make([]core.Metrics, rc.Cores),
+		LLCStats:    uncore.LLC.Stats(),
+		NoCFlits:    uncore.Mesh.Flits(),
+		NoCQueued:   uncore.Mesh.QueuedCycles(),
+		DRAMQueued:  uncore.DRAM.QueuedCycles(),
+		StorageBits: designs[0].StorageBits(),
+	}
+	for i, c := range cores {
+		res.PerCore[i] = c.M
+		res.M.Add(&c.M)
+	}
+	res.Designs = designs
+	return res, nil
+}
+
+// WriteTrace renders n committed instructions of the workload to path in
+// the binary trace format (the library form of cmd/tracegen).
+func WriteTrace(params wl.Params, seed int64, n uint64, path string) error {
+	prog := Program(params)
+	walker := wl.NewWalker(prog, seed)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, params.Mode)
+	if err != nil {
+		return err
+	}
+	var s wl.Step
+	for i := uint64(0); i < n; i++ {
+		walker.Next(&s)
+		if err := w.Write(trace.FromStep(&s)); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,254 @@
+// Package sim assembles complete simulations: a generated workload, N cores
+// each with their own frontend design instance, and the shared uncore. It
+// implements the SimFlex-style methodology of the paper scaled to a software
+// artifact: deterministic seeded samples, a warm-up window, and a
+// measurement window, with cross-run derived metrics (speedup, coverage,
+// FSCR) computed against a baseline run of the same workload and seeds.
+package sim
+
+import (
+	"sync"
+
+	wl "dnc/internal/cfg"
+	"dnc/internal/core"
+	"dnc/internal/isa"
+	"dnc/internal/llc"
+	"dnc/internal/prefetch"
+)
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	Workload wl.Params
+	// NewDesign constructs one design instance per core.
+	NewDesign func() prefetch.Design
+	// Cores is the number of active cores (placed on tiles 0..Cores-1 of
+	// the 4x4 mesh). The paper simulates 16.
+	Cores int
+	// WarmCycles and MeasureCycles bound the two windows (paper: 200K+200K).
+	WarmCycles, MeasureCycles uint64
+	// Seed offsets every core's walker seed; different seeds model
+	// independent measurement samples.
+	Seed int64
+	// Core overrides the per-core configuration (zero value = defaults).
+	Core core.Config
+	// LLC overrides the LLC configuration (zero value = defaults).
+	LLC llc.Config
+	// NoPreload skips installing the code image in the LLC before warm-up.
+	NoPreload bool
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Workload string
+	Design   string
+	// M aggregates all cores' measurement-window metrics.
+	M core.Metrics
+	// PerCore holds each core's metrics.
+	PerCore []core.Metrics
+	// LLC, mesh and memory statistics for the measurement window.
+	LLCStats    llc.Stats
+	NoCFlits    uint64
+	NoCQueued   uint64
+	DRAMQueued  uint64
+	StorageBits int
+	// Designs exposes the per-core design instances for harness probes
+	// (e.g. Shotgun footprint miss ratios).
+	Designs []prefetch.Design
+}
+
+// progCache memoizes generated programs; generation is deterministic in the
+// parameters, and programs are immutable once built.
+var progCache sync.Map // key string -> *wl.Program
+
+func cacheKey(p wl.Params) string {
+	// Name+mode+footprint+seed uniquely identify the presets used by the
+	// harness; ad-hoc parameter sets should vary Name or GenSeed.
+	return p.Name + "|" + p.Mode.String() + "|" +
+		itoa(p.FootprintBytes) + "|" + itoa(int(p.GenSeed))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Program returns the (cached) generated program for the parameters.
+func Program(p wl.Params) *wl.Program {
+	key := cacheKey(p)
+	if v, ok := progCache.Load(key); ok {
+		return v.(*wl.Program)
+	}
+	prog := wl.Generate(p)
+	progCache.Store(key, prog)
+	return prog
+}
+
+// Run executes one simulation and returns its result.
+func Run(rc RunConfig) Result {
+	if rc.Cores == 0 {
+		rc.Cores = 4
+	}
+	if rc.WarmCycles == 0 {
+		rc.WarmCycles = 200_000
+	}
+	if rc.MeasureCycles == 0 {
+		rc.MeasureCycles = 200_000
+	}
+	if rc.Core.FetchWidth == 0 {
+		rc.Core = core.DefaultConfig()
+	}
+	if rc.LLC.SizeBytes == 0 {
+		rc.LLC = llc.DefaultConfig()
+		// Variable-length workloads need the DV-LLC for branch footprints;
+		// an explicitly supplied LLC configuration is taken as-is (the
+		// Section VII.J experiment compares DV on against DV off).
+		if rc.Workload.Mode == isa.Variable {
+			rc.LLC.DVEnabled = true
+		}
+	}
+
+	prog := Program(rc.Workload)
+	uncore := core.NewUncore(rc.LLC)
+	if !rc.NoPreload {
+		uncore.Preload(prog.Image)
+	}
+
+	cores := make([]*core.Core, rc.Cores)
+	designs := make([]prefetch.Design, rc.Cores)
+	for i := range cores {
+		cc := rc.Core
+		cc.Tile = i
+		walker := wl.NewWalker(prog, rc.Seed*1000+int64(i)+1)
+		d := rc.NewDesign()
+		designs[i] = d
+		cores[i] = core.New(cc, walker, prog.Image, d, uncore)
+	}
+
+	for t := uint64(0); t < rc.WarmCycles; t++ {
+		for _, c := range cores {
+			c.Tick()
+		}
+	}
+	for _, c := range cores {
+		c.ResetMetrics()
+	}
+	uncore.LLC.ResetStats()
+	uncore.Mesh.ResetStats()
+	uncore.DRAM.ResetStats()
+
+	for t := uint64(0); t < rc.MeasureCycles; t++ {
+		for _, c := range cores {
+			c.Tick()
+		}
+	}
+
+	res := Result{
+		Workload:    rc.Workload.Name,
+		Design:      designs[0].Name(),
+		PerCore:     make([]core.Metrics, rc.Cores),
+		LLCStats:    uncore.LLC.Stats(),
+		NoCFlits:    uncore.Mesh.Flits(),
+		NoCQueued:   uncore.Mesh.QueuedCycles(),
+		DRAMQueued:  uncore.DRAM.QueuedCycles(),
+		StorageBits: designs[0].StorageBits(),
+		Designs:     designs,
+	}
+	for i, c := range cores {
+		res.PerCore[i] = c.M
+		res.M.Add(&c.M)
+	}
+	return res
+}
+
+// RunSamples executes n independently seeded runs of the same configuration.
+func RunSamples(rc RunConfig, n int) []Result {
+	out := make([]Result, n)
+	for i := 0; i < n; i++ {
+		rc.Seed = int64(i + 1)
+		out[i] = Run(rc)
+	}
+	return out
+}
+
+// ---- derived cross-run metrics ----
+
+// IPC returns the aggregate IPC of a run.
+func IPC(r Result) float64 { return r.M.IPC() }
+
+// Speedup returns r's performance normalized to base (same workload/seed).
+func Speedup(r, base Result) float64 {
+	b := base.M.IPC()
+	if b == 0 {
+		return 0
+	}
+	return r.M.IPC() / b
+}
+
+// MissCoverage returns the fraction of the baseline's L1i demand misses
+// (per kilo-instruction) eliminated by the design.
+func MissCoverage(r, base Result) float64 {
+	b := base.M.MPKI(base.M.DemandMisses)
+	if b == 0 {
+		return 0
+	}
+	c := 1 - r.M.MPKI(r.M.DemandMisses)/b
+	return c
+}
+
+// SeqMissCoverage is MissCoverage restricted to sequential misses (Fig. 3).
+func SeqMissCoverage(r, base Result) float64 {
+	b := base.M.MPKI(base.M.SeqMisses)
+	if b == 0 {
+		return 0
+	}
+	return 1 - r.M.MPKI(r.M.SeqMisses)/b
+}
+
+// FSCR returns the frontend stall cycle reduction (Fig. 15): the fraction
+// of the baseline's L1i/BTB-induced stall cycles (per instruction)
+// eliminated by the design.
+func FSCR(r, base Result) float64 {
+	bi := float64(base.M.FrontendStalls()) / float64(base.M.Retired)
+	if bi == 0 {
+		return 0
+	}
+	ri := float64(r.M.FrontendStalls()) / float64(r.M.Retired)
+	return 1 - ri/bi
+}
+
+// BandwidthRatio returns r's L1i external requests per instruction relative
+// to base (Fig. 5).
+func BandwidthRatio(r, base Result) float64 {
+	b := float64(base.M.ExtRequests) / float64(base.M.Retired)
+	if b == 0 {
+		return 0
+	}
+	return (float64(r.M.ExtRequests) / float64(r.M.Retired)) / b
+}
+
+// LookupRatio returns r's L1i cache lookups per instruction relative to
+// base (Fig. 14).
+func LookupRatio(r, base Result) float64 {
+	b := float64(base.M.CacheLookups) / float64(base.M.Retired)
+	if b == 0 {
+		return 0
+	}
+	return (float64(r.M.CacheLookups) / float64(r.M.Retired)) / b
+}

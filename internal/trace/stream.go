@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	wl "dnc/internal/cfg"
+	"dnc/internal/isa"
+)
+
+// Stream replays a recorded trace as a cfg.Stream, so a simulated core can
+// run from a trace file instead of a live workload walker. When the trace
+// ends the stream rewinds and loops, modelling the steady-state repetition
+// of server request processing; Loops counts the wrap-arounds.
+type Stream struct {
+	src  io.ReadSeeker
+	r    *Reader
+	skip uint64
+
+	// Records counts instructions replayed; Loops counts rewinds.
+	Records uint64
+	Loops   uint64
+}
+
+// NewStream opens a replay stream over a seekable trace. skip discards that
+// many leading records first (used to de-correlate multiple cores replaying
+// the same trace).
+func NewStream(src io.ReadSeeker, skip uint64) (*Stream, error) {
+	s := &Stream{src: src, skip: skip}
+	if err := s.rewind(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Stream) rewind() error {
+	if _, err := s.src.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: rewind: %w", err)
+	}
+	r, err := NewReader(s.src)
+	if err != nil {
+		return err
+	}
+	s.r = r
+	for i := uint64(0); i < s.skip; i++ {
+		if _, err := r.Read(); err != nil {
+			return fmt.Errorf("trace: skipping %d records: %w", s.skip, err)
+		}
+	}
+	return nil
+}
+
+// Next implements cfg.Stream. An unreadable or empty trace panics: the
+// stream was validated at construction, so mid-replay corruption is a
+// programming or I/O error the simulation cannot continue through.
+func (s *Stream) Next(step *wl.Step) {
+	rec, err := s.r.Read()
+	if err == io.EOF {
+		s.Loops++
+		// Loop without the skip so every record is replayed.
+		skip := s.skip
+		s.skip = 0
+		rerr := s.rewind()
+		s.skip = skip
+		if rerr != nil {
+			panic(fmt.Sprintf("trace: loop rewind failed: %v", rerr))
+		}
+		rec, err = s.r.Read()
+		if err != nil {
+			panic(fmt.Sprintf("trace: empty trace: %v", err))
+		}
+	} else if err != nil {
+		panic(fmt.Sprintf("trace: replay: %v", err))
+	}
+	s.Records++
+	rec.ToStep(step)
+}
+
+// Mode returns the trace's ISA mode.
+func (s *Stream) Mode() isa.Mode { return s.r.Mode() }

@@ -1,0 +1,249 @@
+// Package trace implements a compact binary format for committed
+// instruction traces produced by the synthetic workload walker. Traces let
+// external tools consume the exact instruction streams the simulator runs
+// (cmd/tracegen writes them), and support trace-driven replay of the
+// frontend without regenerating the workload.
+//
+// Format: a fixed header, then one varint-encoded record per instruction:
+//
+//	header:  magic "DNCT", version byte, mode byte
+//	record:  flags byte
+//	         uvarint pc delta (zig-zag from previous record's pc)
+//	         size byte (variable mode only)
+//	         uvarint target delta (branches with a transfer only)
+//	         uvarint data address (memory ops only, delta from previous)
+//
+// PC deltas are almost always tiny (sequential code), so records average
+// roughly two bytes in fixed mode.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	wl "dnc/internal/cfg"
+	"dnc/internal/isa"
+)
+
+// Record is one committed instruction event.
+type Record struct {
+	PC   isa.Addr
+	Size uint8
+	Kind isa.Kind
+	// Target is the encoded target of direct branches (known even when the
+	// branch is not taken; replay needs it to train BTBs).
+	Target   isa.Addr
+	Taken    bool
+	TargetPC isa.Addr
+	DataAddr isa.Addr
+}
+
+// FromStep converts a walker step.
+func FromStep(s *wl.Step) Record {
+	return Record{
+		PC:       s.Inst.PC,
+		Size:     s.Inst.Size,
+		Kind:     s.Inst.Kind,
+		Target:   s.Inst.Target,
+		Taken:    s.Taken,
+		TargetPC: s.TargetPC,
+		DataAddr: s.DataAddr,
+	}
+}
+
+// ToStep converts a record back into a walker step for replay.
+func (r Record) ToStep(s *wl.Step) {
+	*s = wl.Step{
+		Inst: isa.Inst{
+			PC:     r.PC,
+			Size:   r.Size,
+			Kind:   r.Kind,
+			Target: r.Target,
+		},
+		Taken:    r.Taken,
+		TargetPC: r.TargetPC,
+		DataAddr: r.DataAddr,
+	}
+}
+
+const (
+	magic   = "DNCT"
+	version = 1
+)
+
+// Flag bits in the record header byte: kind in the low 3 bits.
+const (
+	flagTaken   = 1 << 3
+	flagHasData = 1 << 4
+	flagHasTgt  = 1 << 5
+)
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w        *bufio.Writer
+	mode     isa.Mode
+	prevPC   isa.Addr
+	prevData isa.Addr
+	buf      [binary.MaxVarintLen64]byte
+	n        uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, mode isa.Mode) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(byte(mode)); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, mode: mode}, nil
+}
+
+func (w *Writer) putVarint(v int64) error {
+	n := binary.PutVarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+func (w *Writer) putUvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	flags := byte(r.Kind) & 0x7
+	if r.Taken {
+		flags |= flagTaken
+	}
+	if r.DataAddr != 0 {
+		flags |= flagHasData
+	}
+	wireTarget := r.Target
+	if !r.Kind.HasEncodedTarget() {
+		wireTarget = r.TargetPC
+	}
+	if wireTarget != 0 {
+		flags |= flagHasTgt
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	if err := w.putVarint(int64(r.PC) - int64(w.prevPC)); err != nil {
+		return err
+	}
+	w.prevPC = r.PC
+	if w.mode == isa.Variable {
+		if err := w.w.WriteByte(r.Size); err != nil {
+			return err
+		}
+	}
+	if flags&flagHasTgt != 0 {
+		if err := w.putVarint(int64(wireTarget) - int64(r.PC)); err != nil {
+			return err
+		}
+	}
+	if flags&flagHasData != 0 {
+		if err := w.putVarint(int64(r.DataAddr) - int64(w.prevData)); err != nil {
+			return err
+		}
+		w.prevData = r.DataAddr
+	}
+	w.n++
+	return nil
+}
+
+// Count returns records written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	r        *bufio.Reader
+	mode     isa.Mode
+	prevPC   isa.Addr
+	prevData isa.Addr
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", head[len(magic)])
+	}
+	mode := isa.Mode(head[len(magic)+1])
+	if mode != isa.Fixed && mode != isa.Variable {
+		return nil, fmt.Errorf("trace: bad mode %d", mode)
+	}
+	return &Reader{r: br, mode: mode}, nil
+}
+
+// Mode returns the trace's encoding mode.
+func (r *Reader) Mode() isa.Mode { return r.mode }
+
+// Read returns the next record, or io.EOF at end of trace.
+func (r *Reader) Read() (Record, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	rec.Kind = isa.Kind(flags & 0x7)
+	rec.Taken = flags&flagTaken != 0
+	d, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: pc delta: %w", err)
+	}
+	rec.PC = isa.Addr(int64(r.prevPC) + d)
+	r.prevPC = rec.PC
+	if r.mode == isa.Variable {
+		sz, err := r.r.ReadByte()
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: size: %w", err)
+		}
+		rec.Size = sz
+	} else {
+		rec.Size = isa.FixedSize
+	}
+	if flags&flagHasTgt != 0 {
+		td, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: target delta: %w", err)
+		}
+		wireTarget := isa.Addr(int64(rec.PC) + td)
+		if rec.Kind.HasEncodedTarget() {
+			rec.Target = wireTarget
+			if rec.Taken {
+				rec.TargetPC = wireTarget
+			}
+		} else {
+			rec.TargetPC = wireTarget
+		}
+	}
+	if flags&flagHasData != 0 {
+		dd, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: data delta: %w", err)
+		}
+		rec.DataAddr = isa.Addr(int64(r.prevData) + dd)
+		r.prevData = rec.DataAddr
+	}
+	return rec, nil
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	wl "dnc/internal/cfg"
+	"dnc/internal/isa"
+)
+
+func TestRoundTrip(t *testing.T) {
+	records := []Record{
+		{PC: 0x1000, Size: 4, Kind: isa.KindALU},
+		{PC: 0x1004, Size: 4, Kind: isa.KindLoad, DataAddr: 0x2_0000_0000},
+		{PC: 0x1008, Size: 4, Kind: isa.KindCondBranch, Target: 0x2000, Taken: true, TargetPC: 0x2000},
+		{PC: 0x2000, Size: 4, Kind: isa.KindReturn, Taken: true, TargetPC: 0x100C},
+		{PC: 0x100C, Size: 4, Kind: isa.KindStore, DataAddr: 0x2_0000_0040},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, isa.Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(records)) {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode() != isa.Fixed {
+		t.Fatal("mode lost")
+	}
+	for i, want := range records {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE00"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("DNCT\x09\x00"))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("DNCT\x01\x07"))); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestWalkerRoundTripBothModes(t *testing.T) {
+	for _, mode := range []isa.Mode{isa.Fixed, isa.Variable} {
+		p := wl.Params{
+			Name: "trace-test", Mode: mode, FootprintBytes: 128 << 10,
+			LoadFrac: 0.2, StoreFrac: 0.1, GenSeed: 3,
+		}
+		prog := wl.Generate(p)
+		walk := wl.NewWalker(prog, 1)
+
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 50000
+		want := make([]Record, n)
+		var s wl.Step
+		for i := 0; i < n; i++ {
+			walk.Next(&s)
+			want[i] = FromStep(&s)
+			if err := w.Write(want[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		bytesPerRecord := float64(buf.Len()) / n
+		if bytesPerRecord > 5 {
+			t.Errorf("%v: %.2f bytes/record, want compact encoding", mode, bytesPerRecord)
+		}
+
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			got, err := r.Read()
+			if err != nil {
+				t.Fatalf("%v: record %d: %v", mode, i, err)
+			}
+			if got != want[i] {
+				t.Fatalf("%v: record %d: got %+v, want %+v", mode, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, isa.Fixed)
+	w.Write(Record{PC: 0x1000, Size: 4, Kind: isa.KindALU})
+	w.Flush()
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Fatal("truncated record read successfully")
+	}
+}
+
+func TestStreamReplayLoops(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, isa.Fixed)
+	recs := []Record{
+		{PC: 0x1000, Size: 4, Kind: isa.KindALU},
+		{PC: 0x1004, Size: 4, Kind: isa.KindCondBranch, Target: 0x2000, Taken: true, TargetPC: 0x2000},
+		{PC: 0x2000, Size: 4, Kind: isa.KindReturn, Taken: true, TargetPC: 0x1008},
+	}
+	for _, r := range recs {
+		w.Write(r)
+	}
+	w.Flush()
+
+	s, err := NewStream(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var step wl.Step
+	for i := 0; i < 7; i++ {
+		s.Next(&step)
+		want := recs[i%3]
+		if step.Inst.PC != want.PC || step.Inst.Kind != want.Kind ||
+			step.Taken != want.Taken || step.TargetPC != want.TargetPC ||
+			step.Inst.Target != want.Target {
+			t.Fatalf("replay %d: got %+v, want %+v", i, step, want)
+		}
+	}
+	if s.Loops != 2 || s.Records != 7 {
+		t.Fatalf("loops=%d records=%d", s.Loops, s.Records)
+	}
+}
+
+func TestStreamSkip(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, isa.Fixed)
+	for i := 0; i < 5; i++ {
+		w.Write(Record{PC: isa.Addr(0x1000 + 4*i), Size: 4, Kind: isa.KindALU})
+	}
+	w.Flush()
+	s, err := NewStream(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var step wl.Step
+	s.Next(&step)
+	if step.Inst.PC != 0x1008 {
+		t.Fatalf("skip ignored: pc=%#x", step.Inst.PC)
+	}
+	// After looping, replay starts from the first record again.
+	for i := 0; i < 3; i++ {
+		s.Next(&step)
+	}
+	if step.Inst.PC != 0x1000 {
+		t.Fatalf("loop did not restart at the beginning: pc=%#x", step.Inst.PC)
+	}
+}
+
+func TestStreamNotTakenBranchKeepsEncodedTarget(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, isa.Fixed)
+	w.Write(Record{PC: 0x1000, Size: 4, Kind: isa.KindCondBranch, Target: 0x4000, Taken: false})
+	w.Flush()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target != 0x4000 || got.TargetPC != 0 || got.Taken {
+		t.Fatalf("not-taken branch mangled: %+v", got)
+	}
+}

@@ -1,0 +1,237 @@
+// Package workloads defines the seven server-workload presets of the
+// paper's Table IV as calibrated parameter sets for the synthetic workload
+// generator. Each preset's knobs were tuned so the measured frontend
+// characteristics land in the bands the paper itself reports: multi-megabyte
+// instruction footprints, 65-80% sequential L1i misses (Figure 2),
+// ~80% same-branch discontinuity predictability (Figure 7), and a spread of
+// frontend-bottleneck severity from Web Frontend (mild) to OLTP on DB A
+// (the largest footprint, the workload that defeats Shotgun's U-BTB).
+package workloads
+
+import (
+	wl "dnc/internal/cfg"
+	"dnc/internal/isa"
+)
+
+// Names of the seven workloads, in the paper's reporting order.
+var Names = []string{
+	"OLTP-DB-A",
+	"OLTP-DB-B",
+	"Media-Streaming",
+	"Web-Apache",
+	"Web-Zeus",
+	"Web-Frontend",
+	"Web-Search",
+}
+
+// Params returns the generator parameters for a named workload in the given
+// encoding mode. It panics on unknown names (a harness bug, not user input).
+func Params(name string, mode isa.Mode) wl.Params {
+	p, ok := byName[name]
+	if !ok {
+		panic("workloads: unknown workload " + name)
+	}
+	p.Mode = mode
+	return p
+}
+
+// All returns every preset in order.
+func All(mode isa.Mode) []wl.Params {
+	out := make([]wl.Params, 0, len(Names))
+	for _, n := range Names {
+		out = append(out, Params(n, mode))
+	}
+	return out
+}
+
+var byName = map[string]wl.Params{
+	// Oracle on TPC-C: the largest instruction footprint in the suite; deep
+	// call chains through database and OS code. The paper reports the
+	// highest U-BTB footprint miss ratio (31%) and the biggest win for the
+	// proposed design over Shotgun (16%).
+	"OLTP-DB-A": {
+		Name:               "OLTP-DB-A",
+		FootprintBytes:     6 << 20,
+		AvgBlockInsts:      6,
+		FuncMinBlocks:      4,
+		FuncMaxBlocks:      12,
+		CondFrac:           0.42,
+		JumpFrac:           0.07,
+		CallFrac:           0.16,
+		IndirectCallFrac:   0.1,
+		StableBiasFrac:     0.88,
+		TakenBias:          0.985,
+		WeakBias:           0.7,
+		BackwardFrac:       0.08,
+		RareBlockFrac:      0.1,
+		RareExecProb:       0.03,
+		HotFuncFrac:        0.12,
+		HotCallProb:        0.72,
+		HotSkew:            0.15,
+		MaxCallDepth:       24,
+		LoadFrac:           0.24,
+		StoreFrac:          0.1,
+		DataFootprintBytes: 48 << 20,
+		GenSeed:            101,
+	},
+	// DB2 on TPC-C: a tighter code working set; Shotgun's U-BTB mostly
+	// suffices (the paper's Table I shows only 1.6% empty-FTQ stalls).
+	"OLTP-DB-B": {
+		Name:               "OLTP-DB-B",
+		FootprintBytes:     1600 << 10,
+		AvgBlockInsts:      7,
+		FuncMinBlocks:      4,
+		FuncMaxBlocks:      14,
+		CondFrac:           0.4,
+		JumpFrac:           0.07,
+		CallFrac:           0.13,
+		IndirectCallFrac:   0.06,
+		StableBiasFrac:     0.9,
+		TakenBias:          0.99,
+		WeakBias:           0.7,
+		BackwardFrac:       0.1,
+		RareBlockFrac:      0.08,
+		RareExecProb:       0.03,
+		HotFuncFrac:        0.12,
+		HotCallProb:        0.85,
+		HotSkew:            0.6,
+		MaxCallDepth:       20,
+		LoadFrac:           0.24,
+		StoreFrac:          0.1,
+		DataFootprintBytes: 40 << 20,
+		GenSeed:            202,
+	},
+	// Darwin streaming: long sequential media-handling paths; the highest
+	// sequential miss fraction and the biggest absolute speedups.
+	"Media-Streaming": {
+		Name:               "Media-Streaming",
+		FootprintBytes:     4 << 20,
+		AvgBlockInsts:      9,
+		FuncMinBlocks:      6,
+		FuncMaxBlocks:      18,
+		CondFrac:           0.36,
+		JumpFrac:           0.06,
+		CallFrac:           0.13,
+		IndirectCallFrac:   0.05,
+		StableBiasFrac:     0.92,
+		TakenBias:          0.992,
+		WeakBias:           0.7,
+		BackwardFrac:       0.06,
+		RareBlockFrac:      0.07,
+		RareExecProb:       0.02,
+		HotFuncFrac:        0.1,
+		HotCallProb:        0.75,
+		HotSkew:            0.5,
+		MaxCallDepth:       18,
+		LoadFrac:           0.26,
+		StoreFrac:          0.08,
+		DataFootprintBytes: 64 << 20,
+		GenSeed:            303,
+	},
+	// Apache/SPECweb99: short handler functions and heavy branching; the
+	// lowest sequential miss fraction in the suite.
+	"Web-Apache": {
+		Name:               "Web-Apache",
+		FootprintBytes:     3 << 20,
+		AvgBlockInsts:      6,
+		FuncMinBlocks:      3,
+		FuncMaxBlocks:      10,
+		CondFrac:           0.44,
+		JumpFrac:           0.08,
+		CallFrac:           0.16,
+		IndirectCallFrac:   0.08,
+		StableBiasFrac:     0.88,
+		TakenBias:          0.985,
+		WeakBias:           0.7,
+		BackwardFrac:       0.09,
+		RareBlockFrac:      0.11,
+		RareExecProb:       0.04,
+		HotFuncFrac:        0.12,
+		HotCallProb:        0.76,
+		HotSkew:            0.35,
+		MaxCallDepth:       22,
+		LoadFrac:           0.22,
+		StoreFrac:          0.1,
+		DataFootprintBytes: 32 << 20,
+		GenSeed:            404,
+	},
+	// Zeus/SPECweb99: similar to Apache with a somewhat tighter core loop.
+	"Web-Zeus": {
+		Name:               "Web-Zeus",
+		FootprintBytes:     2500 << 10,
+		AvgBlockInsts:      7,
+		FuncMinBlocks:      4,
+		FuncMaxBlocks:      11,
+		CondFrac:           0.43,
+		JumpFrac:           0.07,
+		CallFrac:           0.15,
+		IndirectCallFrac:   0.07,
+		StableBiasFrac:     0.88,
+		TakenBias:          0.985,
+		WeakBias:           0.7,
+		BackwardFrac:       0.09,
+		RareBlockFrac:      0.1,
+		RareExecProb:       0.03,
+		HotFuncFrac:        0.12,
+		HotCallProb:        0.78,
+		HotSkew:            0.4,
+		MaxCallDepth:       22,
+		LoadFrac:           0.22,
+		StoreFrac:          0.1,
+		DataFootprintBytes: 32 << 20,
+		GenSeed:            505,
+	},
+	// Nginx+PHP web frontend: the mildest frontend bottleneck in the suite
+	// (the paper's smallest speedup, 7%).
+	"Web-Frontend": {
+		Name:               "Web-Frontend",
+		FootprintBytes:     768 << 10,
+		AvgBlockInsts:      8,
+		FuncMinBlocks:      4,
+		FuncMaxBlocks:      12,
+		CondFrac:           0.42,
+		JumpFrac:           0.07,
+		CallFrac:           0.12,
+		IndirectCallFrac:   0.08,
+		StableBiasFrac:     0.9,
+		TakenBias:          0.99,
+		WeakBias:           0.7,
+		BackwardFrac:       0.12,
+		RareBlockFrac:      0.08,
+		RareExecProb:       0.03,
+		HotFuncFrac:        0.14,
+		HotCallProb:        0.9,
+		HotSkew:            0.8,
+		MaxCallDepth:       18,
+		LoadFrac:           0.22,
+		StoreFrac:          0.09,
+		DataFootprintBytes: 24 << 20,
+		GenSeed:            606,
+	},
+	// Nutch/Lucene search: index-walking code with a moderate footprint.
+	"Web-Search": {
+		Name:               "Web-Search",
+		FootprintBytes:     1300 << 10,
+		AvgBlockInsts:      7,
+		FuncMinBlocks:      4,
+		FuncMaxBlocks:      13,
+		CondFrac:           0.42,
+		JumpFrac:           0.07,
+		CallFrac:           0.13,
+		IndirectCallFrac:   0.07,
+		StableBiasFrac:     0.9,
+		TakenBias:          0.99,
+		WeakBias:           0.7,
+		BackwardFrac:       0.1,
+		RareBlockFrac:      0.08,
+		RareExecProb:       0.03,
+		HotFuncFrac:        0.12,
+		HotCallProb:        0.82,
+		HotSkew:            0.5,
+		MaxCallDepth:       20,
+		LoadFrac:           0.25,
+		StoreFrac:          0.09,
+		DataFootprintBytes: 40 << 20,
+		GenSeed:            707,
+	},
+}

@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"testing"
+
+	"dnc/internal/isa"
+)
+
+func TestAllPresetsResolve(t *testing.T) {
+	if len(Names) != 7 {
+		t.Fatalf("want 7 workloads, have %d", len(Names))
+	}
+	for _, n := range Names {
+		p := Params(n, isa.Fixed)
+		if p.Name != n {
+			t.Errorf("%s: name mismatch %q", n, p.Name)
+		}
+		if p.Mode != isa.Fixed {
+			t.Errorf("%s: mode not applied", n)
+		}
+		if p.FootprintBytes < 512<<10 {
+			t.Errorf("%s: footprint %d below server scale", n, p.FootprintBytes)
+		}
+		if p.GenSeed == 0 {
+			t.Errorf("%s: no generation seed", n)
+		}
+	}
+	all := All(isa.Variable)
+	if len(all) != 7 || all[0].Mode != isa.Variable {
+		t.Fatalf("All() wrong: %d entries", len(all))
+	}
+}
+
+func TestUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown workload did not panic")
+		}
+	}()
+	Params("SPECjbb", isa.Fixed)
+}
+
+func TestPresetsAreDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for _, n := range Names {
+		p := Params(n, isa.Fixed)
+		if prev, ok := seen[p.GenSeed]; ok {
+			t.Errorf("%s and %s share GenSeed %d", n, prev, p.GenSeed)
+		}
+		seen[p.GenSeed] = n
+	}
+}
+
+func TestDBAHasTheLargestFootprint(t *testing.T) {
+	// The paper's OLTP on DB A is the largest-footprint workload — the one
+	// that defeats Shotgun's U-BTB. Keep the calibration honest.
+	dba := Params("OLTP-DB-A", isa.Fixed).FootprintBytes
+	for _, n := range Names {
+		if n == "OLTP-DB-A" {
+			continue
+		}
+		if Params(n, isa.Fixed).FootprintBytes > dba {
+			t.Errorf("%s footprint exceeds OLTP-DB-A", n)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package dncfront is the public API of the frontend-prefetching library:
+// a reproduction of "Divide and Conquer Frontend Bottleneck" (Ansari,
+// Lotfi-Kamran, Sarbazi-Azad; ISCA 2020).
+//
+// The package wraps the internal simulator behind a small surface:
+//
+//   - Workloads lists the seven calibrated server-workload models; Workload
+//     returns one preset, and WorkloadParams can be built directly for
+//     custom workloads.
+//   - NewDesign constructs any evaluated frontend design by name — the
+//     paper's SN4L+Dis+BTB and its components, the sequential family, and
+//     the Confluence/Boomerang/Shotgun competitors.
+//   - Run simulates a workload under a design on a 16-tile CMP and returns
+//     measured metrics; Compare also runs the no-prefetch baseline and
+//     derives speedup, miss coverage, FSCR, and traffic ratios.
+//
+// See examples/ for runnable walk-throughs and cmd/dncbench for the full
+// paper evaluation.
+package dncfront
+
+import (
+	"fmt"
+	"sort"
+
+	wl "dnc/internal/cfg"
+	"dnc/internal/core"
+	"dnc/internal/isa"
+	"dnc/internal/prefetch"
+	"dnc/internal/sim"
+	"dnc/internal/workloads"
+)
+
+// WorkloadParams configures a synthetic server workload; see the field
+// documentation in the underlying type for every knob.
+type WorkloadParams = wl.Params
+
+// Metrics are the per-run measurement counters.
+type Metrics = core.Metrics
+
+// Result is one simulation outcome.
+type Result = sim.Result
+
+// Design is a pluggable frontend configuration (BTB organization plus
+// prefetcher).
+type Design = prefetch.Design
+
+// ISA modes for WorkloadParams.Mode.
+const (
+	FixedLength    = isa.Fixed
+	VariableLength = isa.Variable
+)
+
+// Workloads returns the names of the seven calibrated workload presets, in
+// the paper's reporting order.
+func Workloads() []string {
+	out := make([]string, len(workloads.Names))
+	copy(out, workloads.Names)
+	return out
+}
+
+// Workload returns a preset workload's parameters in fixed-length mode.
+func Workload(name string) WorkloadParams {
+	return workloads.Params(name, isa.Fixed)
+}
+
+// designFactories maps public design names to constructors and the core
+// options the design requires.
+var designFactories = map[string]struct {
+	nd  func() Design
+	pfb int
+}{
+	"baseline": {func() Design { return prefetch.NewBaseline(2048) }, 0},
+	"NL":       {func() Design { return prefetch.NewNXL(1, 2048) }, 0},
+	"N2L":      {func() Design { return prefetch.NewNXL(2, 2048) }, 0},
+	"N4L":      {func() Design { return prefetch.NewNXL(4, 2048) }, 0},
+	"N8L":      {func() Design { return prefetch.NewNXL(8, 2048) }, 0},
+	"SN4L":     {func() Design { return prefetch.NewSN4L(16<<10, 2048) }, 0},
+	"Dis":      {func() Design { return prefetch.NewDis(4<<10, 4, 2048) }, 0},
+	"SN4L+Dis": {func() Design {
+		return prefetch.NewProactive(prefetch.DefaultProactiveConfig())
+	}, 0},
+	"SN4L+Dis+BTB": {func() Design {
+		c := prefetch.DefaultProactiveConfig()
+		c.WithBTBPrefetch = true
+		return prefetch.NewProactive(c)
+	}, 0},
+	"NL-miss":       {func() Design { return prefetch.NewNXLTriggered(1, 2048, prefetch.TriggerMiss) }, 0},
+	"NL-tagged":     {func() Design { return prefetch.NewNXLTriggered(1, 2048, prefetch.TriggerTagged) }, 0},
+	"RDIP":          {func() Design { return prefetch.NewRDIP(1024, 2048) }, 0},
+	"PIF":           {func() Design { return prefetch.NewPIF(prefetch.DefaultPIFConfig()) }, 0},
+	"discontinuity": {func() Design { return prefetch.NewDiscontinuity(8<<10, 8, 2048) }, 0},
+	"confluence":    {func() Design { return prefetch.NewConfluence(prefetch.DefaultConfluenceConfig()) }, 0},
+	"boomerang":     {func() Design { return prefetch.NewBoomerang(prefetch.DefaultBoomerangConfig()) }, 0},
+	"shotgun":       {func() Design { return prefetch.NewShotgun(prefetch.DefaultShotgunDesignConfig()) }, 64},
+}
+
+// Designs returns the available design names, sorted.
+func Designs() []string {
+	out := make([]string, 0, len(designFactories))
+	for n := range designFactories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewDesign constructs a fresh instance of a named design. One instance
+// drives one core; construct one per simulated core.
+func NewDesign(name string) (Design, error) {
+	f, ok := designFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("dncfront: unknown design %q (have %v)", name, Designs())
+	}
+	return f.nd(), nil
+}
+
+// Options configure a simulation run.
+type Options struct {
+	// Cores is the number of active cores on the 4x4 mesh (default 16).
+	Cores int
+	// WarmCycles and MeasureCycles set the two windows (default 200K each,
+	// the paper's methodology).
+	WarmCycles, MeasureCycles uint64
+	// Seed selects the measurement sample (default 1).
+	Seed int64
+}
+
+func (o Options) fill() Options {
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	if o.WarmCycles == 0 {
+		o.WarmCycles = 200_000
+	}
+	if o.MeasureCycles == 0 {
+		o.MeasureCycles = 200_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Run simulates the workload under the named design.
+func Run(params WorkloadParams, design string, o Options) (Result, error) {
+	f, ok := designFactories[design]
+	if !ok {
+		return Result{}, fmt.Errorf("dncfront: unknown design %q (have %v)", design, Designs())
+	}
+	o = o.fill()
+	cc := core.DefaultConfig()
+	cc.PrefetchBufferEntries = f.pfb
+	return sim.Run(sim.RunConfig{
+		Workload:      params,
+		NewDesign:     f.nd,
+		Cores:         o.Cores,
+		WarmCycles:    o.WarmCycles,
+		MeasureCycles: o.MeasureCycles,
+		Seed:          o.Seed,
+		Core:          cc,
+	}), nil
+}
+
+// Comparison holds a design's result with baseline-derived metrics.
+type Comparison struct {
+	Result   Result
+	Baseline Result
+	// Speedup is IPC relative to the no-prefetch baseline.
+	Speedup float64
+	// MissCoverage is the fraction of baseline L1i misses eliminated.
+	MissCoverage float64
+	// SeqMissCoverage restricts coverage to sequential misses.
+	SeqMissCoverage float64
+	// FSCR is the frontend stall cycle reduction.
+	FSCR float64
+	// BandwidthRatio is L1i external traffic relative to the baseline.
+	BandwidthRatio float64
+	// LookupRatio is L1i tag lookups relative to the baseline.
+	LookupRatio float64
+}
+
+// Compare runs both the design and the baseline and derives the paper's
+// cross-run metrics.
+func Compare(params WorkloadParams, design string, o Options) (Comparison, error) {
+	r, err := Run(params, design, o)
+	if err != nil {
+		return Comparison{}, err
+	}
+	base, err := Run(params, "baseline", o)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		Result:          r,
+		Baseline:        base,
+		Speedup:         sim.Speedup(r, base),
+		MissCoverage:    sim.MissCoverage(r, base),
+		SeqMissCoverage: sim.SeqMissCoverage(r, base),
+		FSCR:            sim.FSCR(r, base),
+		BandwidthRatio:  sim.BandwidthRatio(r, base),
+		LookupRatio:     sim.LookupRatio(r, base),
+	}, nil
+}

@@ -1,0 +1,75 @@
+package dncfront
+
+import "testing"
+
+func TestWorkloadsAndDesignsListed(t *testing.T) {
+	if len(Workloads()) != 7 {
+		t.Fatalf("workloads = %v", Workloads())
+	}
+	ds := Designs()
+	want := map[string]bool{"baseline": true, "SN4L+Dis+BTB": true, "shotgun": true}
+	found := 0
+	for _, d := range ds {
+		if want[d] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("designs missing: %v", ds)
+	}
+}
+
+func TestNewDesign(t *testing.T) {
+	d, err := NewDesign("SN4L+Dis+BTB")
+	if err != nil || d.Name() != "SN4L+Dis+BTB" {
+		t.Fatalf("NewDesign: %v, %v", d, err)
+	}
+	if _, err := NewDesign("nope"); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+func TestRunAndCompare(t *testing.T) {
+	p := Workload("Web-Frontend")
+	o := Options{Cores: 2, WarmCycles: 20_000, MeasureCycles: 20_000}
+	r, err := Run(p, "SN4L", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.M.Retired == 0 {
+		t.Fatal("no progress")
+	}
+	c, err := Compare(p, "SN4L", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Speedup <= 0.5 || c.Speedup > 3 {
+		t.Fatalf("speedup = %.3f implausible", c.Speedup)
+	}
+	if c.Baseline.M.IPC() == 0 {
+		t.Fatal("baseline empty")
+	}
+	if _, err := Run(p, "nope", o); err == nil {
+		t.Fatal("unknown design accepted by Run")
+	}
+	if _, err := Compare(p, "nope", o); err == nil {
+		t.Fatal("unknown design accepted by Compare")
+	}
+}
+
+func TestCustomWorkloadParams(t *testing.T) {
+	p := WorkloadParams{
+		Name:           "custom",
+		FootprintBytes: 256 << 10,
+		GenSeed:        42,
+		LoadFrac:       0.2,
+		StoreFrac:      0.1,
+	}
+	r, err := Run(p, "baseline", Options{Cores: 1, WarmCycles: 10_000, MeasureCycles: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.M.Retired == 0 {
+		t.Fatal("custom workload made no progress")
+	}
+}

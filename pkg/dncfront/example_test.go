@@ -1,0 +1,51 @@
+package dncfront_test
+
+import (
+	"fmt"
+	"log"
+
+	"dnc/pkg/dncfront"
+)
+
+// ExampleWorkloads lists the calibrated server workload presets.
+func ExampleWorkloads() {
+	for _, name := range dncfront.Workloads() {
+		fmt.Println(name)
+	}
+	// Output:
+	// OLTP-DB-A
+	// OLTP-DB-B
+	// Media-Streaming
+	// Web-Apache
+	// Web-Zeus
+	// Web-Frontend
+	// Web-Search
+}
+
+// ExampleNewDesign constructs the paper's proposed design and reports its
+// per-core metadata budget.
+func ExampleNewDesign() {
+	d, err := dncfront.NewDesign("SN4L+Dis+BTB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s needs %.1f KB of metadata\n", d.Name(), float64(d.StorageBits())/8/1024)
+	// Output:
+	// SN4L+Dis+BTB needs 7.3 KB of metadata
+}
+
+// ExampleCompare runs a small simulation and derives the paper's
+// cross-run metrics. Numeric results depend on the configuration, so the
+// example only demonstrates the call shape.
+func ExampleCompare() {
+	params := dncfront.Workload("Web-Frontend")
+	cmp, err := dncfront.Compare(params, "SN4L", dncfront.Options{
+		Cores: 1, WarmCycles: 10_000, MeasureCycles: 10_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cmp.Speedup > 0.5, cmp.Result.M.Retired > 0)
+	// Output:
+	// true true
+}
