@@ -3,16 +3,25 @@
 // Usage:
 //
 //	dncbench [-scale quick|paper] [-workloads a,b,c] [-only fig16,fig17] [-ablations]
+//	         [-jobs N] [-timeout 10m] [-journal sweep.jsonl]
 //
 // Each experiment prints the paper's expected result alongside the
-// measured rows, mirroring EXPERIMENTS.md.
+// measured rows, mirroring EXPERIMENTS.md. Simulations fan out across a
+// bounded worker pool; a panicking or livelocked configuration is reported
+// at the end (non-zero exit) instead of aborting the whole run. With
+// -journal, the shared cross-experiment sweeps are recorded as they finish,
+// so an interrupted benchmark re-invoked with the same journal resumes
+// instead of recomputing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dnc/internal/bench"
@@ -25,6 +34,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	ablations := flag.Bool("ablations", false, "also run the extra ablation sweeps")
 	samples := flag.Int("samples", 1, "independently seeded samples pooled per configuration")
+	jobs := flag.Int("jobs", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
+	journal := flag.String("journal", "", "JSONL run journal: records finished runs and resumes an interrupted benchmark")
 	flag.Parse()
 
 	if *list {
@@ -48,7 +60,28 @@ func main() {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
 	}
 	cfg.Samples = *samples
+	cfg.Jobs = *jobs
+	cfg.Timeout = *timeout
 	h := bench.New(cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	h.SetContext(ctx)
+
+	if *journal != "" {
+		start := time.Now()
+		if err := h.Prewarm(ctx, *journal); err != nil {
+			fmt.Fprintf(os.Stderr, "dncbench: prewarm: %v\n", err)
+			if ctx.Err() != nil {
+				os.Exit(1)
+			}
+			// Other failures are already recorded on the harness; the
+			// experiments still run and the exit code reflects them.
+		} else {
+			fmt.Printf("prewarm: shared sweeps ready in %.1fs (journal %s)\n\n",
+				time.Since(start).Seconds(), *journal)
+		}
+	}
 
 	ids := bench.IDs()
 	if *only != "" {
@@ -68,6 +101,11 @@ func main() {
 		for _, e := range h.Ablations() {
 			printExperiment(e, 0)
 		}
+	}
+	if err := h.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "dncbench: %d simulation failure(s):\n%v\n",
+			strings.Count(err.Error(), "\n")+1, err)
+		os.Exit(1)
 	}
 }
 

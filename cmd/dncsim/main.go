@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"dnc/internal/core"
 	"dnc/internal/isa"
@@ -63,6 +66,7 @@ func main() {
 	mode := flag.String("mode", "fixed", "ISA mode: fixed or variable")
 	baseline := flag.Bool("baseline", false, "also run the no-prefetch baseline and report derived metrics")
 	tracePath := flag.String("trace", "", "replay a recorded trace of the workload instead of walking it live")
+	timeout := flag.Duration("timeout", 0, "abort the simulation after this wall-clock budget (0 = none)")
 	listD := flag.Bool("listdesigns", false, "list design names and exit")
 	listW := flag.Bool("listworkloads", false, "list workload names and exit")
 	flag.Parse()
@@ -106,16 +110,31 @@ func main() {
 		Seed:          *seed,
 		Core:          cc,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	runOne := func(rc sim.RunConfig) sim.Result {
-		if *tracePath != "" {
-			r, err := sim.RunTrace(rc, *tracePath)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "dncsim: %v\n", err)
-				os.Exit(1)
-			}
-			return r
+		rctx := ctx
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			rctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
 		}
-		return sim.Run(rc)
+		var (
+			r   sim.Result
+			err error
+		)
+		if *tracePath != "" {
+			r, err = sim.RunTraceChecked(rctx, rc, *tracePath)
+		} else {
+			r, err = sim.RunChecked(rctx, rc)
+		}
+		if err != nil {
+			// Failures exit cleanly with a diagnostic: a livelocked design
+			// renders its stall snapshot, a recovered panic its stack.
+			fmt.Fprintf(os.Stderr, "dncsim: %v\n", err)
+			os.Exit(1)
+		}
+		return r
 	}
 	r := runOne(rc)
 	report(r)

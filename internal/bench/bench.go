@@ -9,14 +9,18 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dnc/internal/core"
 	"dnc/internal/isa"
 	"dnc/internal/llc"
 	"dnc/internal/prefetch"
 	"dnc/internal/sim"
+	"dnc/internal/sim/runner"
 	"dnc/internal/workloads"
 )
 
@@ -31,6 +35,13 @@ type Config struct {
 	// Samples pools this many independently seeded runs per configuration
 	// (the SimFlex-style sampling of the paper's methodology). Default 1.
 	Samples int
+	// Jobs bounds concurrently executing simulations within one pooled
+	// configuration or prewarm sweep (0 = GOMAXPROCS).
+	Jobs int
+	// Timeout aborts any single simulation exceeding it (0 = none). The
+	// failure is recorded on the harness (Err) and the affected rows read
+	// zero; the remaining experiments continue.
+	Timeout time.Duration
 }
 
 // Quick returns a reduced configuration for fast iteration and the default
@@ -46,11 +57,16 @@ func Paper() Config {
 	return Config{Cores: 16, WarmCycles: 200_000, MeasureCycles: 200_000, Seed: 1}
 }
 
-// Harness caches simulation runs across experiments.
+// Harness caches simulation runs across experiments. Runs execute through
+// the fault-tolerant runner.Sweep pool: a panicking or livelocked
+// configuration is recorded as a failure (Err) instead of killing the whole
+// benchmark, and its derived rows read zero.
 type Harness struct {
 	cfg   Config
+	ctx   context.Context
 	mu    sync.Mutex
 	cache map[string]sim.Result
+	errs  []error
 }
 
 // New returns a harness for the configuration.
@@ -61,7 +77,15 @@ func New(cfg Config) *Harness {
 	if len(cfg.Workloads) == 0 {
 		cfg.Workloads = workloads.Names
 	}
-	return &Harness{cfg: cfg, cache: make(map[string]sim.Result)}
+	return &Harness{cfg: cfg, ctx: context.Background(), cache: make(map[string]sim.Result)}
+}
+
+// SetContext installs a context that cancels the harness's in-flight
+// simulations (e.g. on SIGINT). Call before running experiments.
+func (h *Harness) SetContext(ctx context.Context) {
+	if ctx != nil {
+		h.ctx = ctx
+	}
 }
 
 // Config returns the harness configuration.
@@ -69,6 +93,21 @@ func (h *Harness) Config() Config { return h.cfg }
 
 // Workloads returns the active workload names.
 func (h *Harness) Workloads() []string { return h.cfg.Workloads }
+
+// Err returns the accumulated simulation failures, if any. Experiments keep
+// going past a failed configuration; callers check Err once at the end for
+// a non-zero exit.
+func (h *Harness) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return errors.Join(h.errs...)
+}
+
+func (h *Harness) fail(err error) {
+	h.mu.Lock()
+	h.errs = append(h.errs, err)
+	h.mu.Unlock()
+}
 
 // runOpts adjusts a run beyond the design choice.
 type runOpts struct {
@@ -80,6 +119,9 @@ type runOpts struct {
 }
 
 // run executes (or returns the cached) simulation of one workload/design.
+// The samples of one configuration fan out across the runner pool; any
+// failure is recorded on the harness and a zero Result returned, so the
+// experiment's remaining rows still render.
 func (h *Harness) run(workload, key string, nd func() prefetch.Design, o runOpts) sim.Result {
 	ck := fmt.Sprintf("%s|%s|%+v", workload, key, o)
 	h.mu.Lock()
@@ -89,6 +131,48 @@ func (h *Harness) run(workload, key string, nd func() prefetch.Design, o runOpts
 	}
 	h.mu.Unlock()
 
+	rep, err := runner.Sweep(h.ctx, h.cells(ck, workload, nd, o), runner.Options{
+		Jobs:    h.cfg.Jobs,
+		Timeout: h.cfg.Timeout,
+	})
+	if err == nil {
+		err = rep.FirstErr()
+	}
+	if err != nil {
+		h.fail(fmt.Errorf("bench %s: %w", ck, err))
+		return sim.Result{}
+	}
+	r := poolSamples(rep.Cells)
+	h.mu.Lock()
+	h.cache[ck] = r
+	h.mu.Unlock()
+	return r
+}
+
+// cells expands one configuration into its sample cells: sample s runs with
+// seed Seed + s*7919, and the cell IDs are stable across processes so a
+// journaled sweep can resume.
+func (h *Harness) cells(ck, workload string, nd func() prefetch.Design, o runOpts) []runner.Cell {
+	samples := h.cfg.Samples
+	if samples < 1 {
+		samples = 1
+	}
+	cells := make([]runner.Cell, samples)
+	for s := 0; s < samples; s++ {
+		rc := h.runConfig(workload, nd, o)
+		if s > 0 {
+			rc.Seed = h.cfg.Seed + int64(s)*7919
+		}
+		cells[s] = runner.Cell{
+			ID: fmt.Sprintf("%s|c%d|w%d|m%d|s%d|x%d", ck,
+				h.cfg.Cores, h.cfg.WarmCycles, h.cfg.MeasureCycles, h.cfg.Seed, s),
+			Config: rc,
+		}
+	}
+	return cells
+}
+
+func (h *Harness) runConfig(workload string, nd func() prefetch.Design, o runOpts) sim.RunConfig {
 	cc := core.DefaultConfig()
 	cc.PrefetchBufferEntries = o.pfbEntries
 	cc.PerfectL1i = o.perfectL1i
@@ -105,23 +189,93 @@ func (h *Harness) run(workload, key string, nd func() prefetch.Design, o runOpts
 	if o.llcCfg != nil {
 		rc.LLC = *o.llcCfg
 	}
-	samples := h.cfg.Samples
-	if samples < 1 {
-		samples = 1
+	return rc
+}
+
+// poolSamples merges the independently seeded samples of one configuration,
+// in sample order: counters add, so every derived ratio becomes the pooled
+// estimate.
+func poolSamples(cells []runner.CellResult) sim.Result {
+	r := cells[0].Result
+	for _, c := range cells[1:] {
+		r.M.Add(&c.Result.M)
+		r.PerCore = append(r.PerCore, c.Result.PerCore...)
 	}
-	r := sim.Run(rc)
-	for s := 1; s < samples; s++ {
-		rc.Seed = h.cfg.Seed + int64(s)*7919
-		extra := sim.Run(rc)
-		// Pool the independently seeded samples: counters add, so every
-		// derived ratio becomes the pooled estimate.
-		r.M.Add(&extra.M)
-		r.PerCore = append(r.PerCore, extra.PerCore...)
+	return r
+}
+
+// Prewarm runs the cross-experiment design sweeps shared by most figures
+// (baseline, full, confluence) for every active workload through one
+// journaled runner sweep: an interrupted benchmark resumes the finished
+// cells from the journal instead of recomputing them. Journal-restored
+// results carry every metric but not live design state, which the
+// experiments never probe for these three designs (unlike e.g. Shotgun's,
+// which therefore always run live through h.run).
+func (h *Harness) Prewarm(ctx context.Context, journalPath string) error {
+	if ctx == nil {
+		ctx = h.ctx
+	}
+	specs := []struct {
+		key string
+		nd  func() prefetch.Design
+	}{
+		{"baseline", newBaseline},
+		{"full", newFull},
+		{"confluence", newConfluence},
+	}
+	var (
+		cells  []runner.Cell
+		groups []string // cache key of each cell, parallel to cells
+	)
+	for _, w := range h.cfg.Workloads {
+		for _, sp := range specs {
+			ck := fmt.Sprintf("%s|%s|%+v", w, sp.key, runOpts{})
+			for _, c := range h.cells(ck, w, sp.nd, runOpts{}) {
+				cells = append(cells, c)
+				groups = append(groups, ck)
+			}
+		}
+	}
+	rep, err := runner.Sweep(ctx, cells, runner.Options{
+		Jobs:        h.cfg.Jobs,
+		Timeout:     h.cfg.Timeout,
+		JournalPath: journalPath,
+	})
+	if err != nil {
+		h.fail(fmt.Errorf("bench prewarm: %w", err))
+		return err
+	}
+	// Cache every configuration whose samples all completed; failed ones
+	// are recorded and will re-run (and re-fail deterministically, fast)
+	// if an experiment asks for them.
+	byKey := make(map[string][]runner.CellResult)
+	var order []string
+	for i, cr := range rep.Cells {
+		if _, seen := byKey[groups[i]]; !seen {
+			order = append(order, groups[i])
+		}
+		byKey[groups[i]] = append(byKey[groups[i]], cr)
 	}
 	h.mu.Lock()
-	h.cache[ck] = r
+	for _, ck := range order {
+		g := byKey[ck]
+		complete := true
+		for _, cr := range g {
+			if cr.Status == runner.StatusFailed {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			h.cache[ck] = poolSamples(g)
+		}
+	}
 	h.mu.Unlock()
-	return r
+	if err := rep.FirstErr(); err != nil {
+		h.fail(fmt.Errorf("bench prewarm: %w", err))
+		return err
+	}
+	return nil
 }
 
 // Canonical design constructors.

@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"context"
+	"dnc/internal/prefetch"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -123,5 +126,57 @@ func TestSamplesPooling(t *testing.T) {
 	}
 	if len(b.PerCore) != 3*len(a.PerCore) {
 		t.Fatalf("pooled per-core results %d, want 3x %d", len(b.PerCore), len(a.PerCore))
+	}
+}
+
+func TestHarnessRecordsFailures(t *testing.T) {
+	h := tiny()
+	r := h.run("Web-Frontend", "boom", func() prefetch.Design { panic("injected") }, runOpts{})
+	if r.M.Cycles != 0 {
+		t.Error("failed configuration returned a non-zero result")
+	}
+	if h.Err() == nil {
+		t.Fatal("failure not recorded on the harness")
+	}
+	if len(h.cache) != 0 {
+		t.Fatal("failed configuration was cached")
+	}
+	// A healthy run afterwards still works and Err persists.
+	if h.Baseline("Web-Frontend").M.Cycles == 0 {
+		t.Fatal("healthy run after failure returned zero result")
+	}
+	if h.Err() == nil {
+		t.Fatal("Err cleared by a later successful run")
+	}
+}
+
+func TestPrewarmJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "bench.jsonl")
+	cfg := Config{
+		Cores: 2, WarmCycles: 10_000, MeasureCycles: 10_000,
+		Workloads: []string{"Web-Frontend"}, Seed: 1,
+	}
+	h1 := New(cfg)
+	if err := h1.Prewarm(context.Background(), journal); err != nil {
+		t.Fatal(err)
+	}
+	if len(h1.cache) != 3 {
+		t.Fatalf("prewarm cached %d configurations, want 3", len(h1.cache))
+	}
+	want := h1.Baseline("Web-Frontend")
+
+	// A fresh harness resumes every cell from the journal: the restored
+	// metrics match and no simulation re-runs (restored results lack live
+	// Designs, so a non-empty Designs slice would mean a re-run).
+	h2 := New(cfg)
+	if err := h2.Prewarm(context.Background(), journal); err != nil {
+		t.Fatal(err)
+	}
+	got := h2.Baseline("Web-Frontend")
+	if got.M != want.M {
+		t.Fatal("journal-restored metrics differ from the original run")
+	}
+	if len(got.Designs) != 0 {
+		t.Fatal("prewarm re-ran a journaled cell instead of resuming it")
 	}
 }

@@ -1,6 +1,10 @@
 package cache
 
-import "dnc/internal/isa"
+import (
+	"sort"
+
+	"dnc/internal/isa"
+)
 
 // MSHR tracks one in-flight miss.
 type MSHR struct {
@@ -78,8 +82,11 @@ func (f *MSHRFile) AllocDemand(b isa.BlockID, issue, ready uint64) *MSHR {
 // Free releases the entry for b (at fill time).
 func (f *MSHRFile) Free(b isa.BlockID) { delete(f.entries, b) }
 
-// Ready returns all entries whose fill has arrived by the given cycle.
-// Callers free them after applying the fill.
+// Ready returns all entries whose fill has arrived by the given cycle, in
+// arrival order (ties broken by block ID). The order must not depend on map
+// iteration: fill processing mutates design state, so an arbitrary order
+// makes otherwise identical runs diverge. Callers free the entries after
+// applying the fill.
 func (f *MSHRFile) Ready(cycle uint64) []*MSHR {
 	var out []*MSHR
 	for _, m := range f.entries {
@@ -87,6 +94,12 @@ func (f *MSHRFile) Ready(cycle uint64) []*MSHR {
 			out = append(out, m)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ReadyCycle != out[j].ReadyCycle {
+			return out[i].ReadyCycle < out[j].ReadyCycle
+		}
+		return out[i].Block < out[j].Block
+	})
 	return out
 }
 

@@ -143,6 +143,10 @@ type Core struct {
 
 	startup bool // before first delivery
 
+	// totalRetired counts retirements monotonically across metric resets
+	// (the watchdog's progress counter; see Progress).
+	totalRetired uint64
+
 	// M collects measurement-window metrics.
 	M Metrics
 }
@@ -381,6 +385,7 @@ func (c *Core) retire() {
 			return
 		}
 		c.M.Retired++
+		c.totalRetired++
 		c.design.OnRetire(e.inst, e.taken, e.target)
 		if c.bfCache != nil && e.inst.Kind.IsBranch() {
 			c.recordBF(e.inst)

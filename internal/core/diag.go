@@ -1,0 +1,58 @@
+package core
+
+import "dnc/internal/isa"
+
+// DiagSnapshot captures one core's frontend state for failure diagnostics.
+// The sweep engine's livelock watchdog (internal/sim) attaches one snapshot
+// per core to the abort error so a stuck run can be triaged post-mortem
+// without re-running it under a debugger.
+type DiagSnapshot struct {
+	Tile    int
+	Cycle   uint64
+	Retired uint64 // monotonic, survives metric resets
+	// StallCause names the condition currently blocking fetch, derived from
+	// the live pipeline state (not the per-cycle attribution counters).
+	StallCause string
+	// Waiting/WaitBlock describe an outstanding demand I-fetch miss.
+	Waiting   bool
+	WaitBlock isa.BlockID
+	// StallUntil is the end cycle of an active redirect bubble.
+	StallUntil uint64
+	ROBUsed, ROBCap   int
+	MSHRUsed, MSHRCap int
+}
+
+// Progress returns the number of instructions retired since the core was
+// created. Unlike M.Retired it is never reset between the warm-up and
+// measurement windows, so the watchdog can observe forward progress across
+// the whole run.
+func (c *Core) Progress() uint64 { return c.totalRetired }
+
+// Diag returns a point-in-time diagnostic snapshot of the core.
+func (c *Core) Diag() DiagSnapshot {
+	s := DiagSnapshot{
+		Tile:       c.cf.Tile,
+		Cycle:      c.cycle,
+		Retired:    c.totalRetired,
+		Waiting:    c.waiting,
+		WaitBlock:  c.waitBlk,
+		StallUntil: c.stallUntil,
+		ROBUsed:    c.robCount,
+		ROBCap:     len(c.rob),
+		MSHRUsed:   c.mshr.Len(),
+		MSHRCap:    c.mshr.Cap(),
+	}
+	switch {
+	case c.robFull():
+		s.StallCause = "rob-full"
+	case c.cycle < c.stallUntil && c.stallBTB:
+		s.StallCause = "btb-redirect"
+	case c.cycle < c.stallUntil:
+		s.StallCause = "mispredict-redirect"
+	case c.waiting:
+		s.StallCause = "icache-wait"
+	default:
+		s.StallCause = "ftq/fetch"
+	}
+	return s
+}

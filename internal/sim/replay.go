@@ -1,14 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	wl "dnc/internal/cfg"
-	"dnc/internal/core"
-	"dnc/internal/isa"
-	"dnc/internal/llc"
-	"dnc/internal/prefetch"
 	"dnc/internal/trace"
 )
 
@@ -19,99 +16,34 @@ import (
 // from rc.Workload. Each core starts at a different offset into the trace
 // to de-correlate the replicas, and loops when the trace ends.
 func RunTrace(rc RunConfig, tracePath string) (Result, error) {
-	if rc.Cores == 0 {
-		rc.Cores = 4
-	}
-	if rc.WarmCycles == 0 {
-		rc.WarmCycles = 200_000
-	}
-	if rc.MeasureCycles == 0 {
-		rc.MeasureCycles = 200_000
-	}
-	if rc.Core.FetchWidth == 0 {
-		rc.Core = core.DefaultConfig()
-	}
-	if rc.LLC.SizeBytes == 0 {
-		rc.LLC = llc.DefaultConfig()
-		// Variable-length workloads need the DV-LLC for branch footprints;
-		// an explicitly supplied LLC configuration is taken as-is (the
-		// Section VII.J experiment compares DV on against DV off).
-		if rc.Workload.Mode == isa.Variable {
-			rc.LLC.DVEnabled = true
-		}
-	}
+	return RunTraceChecked(nil, rc, tracePath)
+}
 
-	prog := Program(rc.Workload)
-	uncore := core.NewUncore(rc.LLC)
-	if !rc.NoPreload {
-		uncore.Preload(prog.Image)
-	}
-
+// RunTraceChecked is RunTrace with the full fault isolation of RunChecked:
+// validation, panic recovery (including mid-replay trace corruption, which
+// internal/trace surfaces as a typed panic), context cancellation, and the
+// livelock watchdog. Every returned error is a *RunError.
+func RunTraceChecked(ctx context.Context, rc RunConfig, tracePath string) (Result, error) {
 	// skipStride de-correlates the replicas replaying one trace.
 	const skipStride = 100_000
 
-	cores := make([]*core.Core, rc.Cores)
-	designs := make([]prefetch.Design, rc.Cores)
-	files := make([]*os.File, 0, rc.Cores)
-	defer func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}()
-	for i := range cores {
+	return runChecked(ctx, rc, func(i int, _ *wl.Program) (wl.Stream, func(), error) {
 		f, err := os.Open(tracePath)
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: opening trace: %w", err)
+			return nil, nil, fmt.Errorf("sim: opening trace: %w", err)
 		}
-		files = append(files, f)
 		stream, err := trace.NewStream(f, uint64(i)*skipStride)
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: trace stream: %w", err)
+			f.Close()
+			return nil, nil, fmt.Errorf("sim: trace stream: %w", err)
 		}
 		if stream.Mode() != rc.Workload.Mode {
-			return Result{}, fmt.Errorf("sim: trace mode %v does not match workload mode %v",
+			f.Close()
+			return nil, nil, fmt.Errorf("sim: trace mode %v does not match workload mode %v",
 				stream.Mode(), rc.Workload.Mode)
 		}
-		cc := rc.Core
-		cc.Tile = i
-		d := rc.NewDesign()
-		designs[i] = d
-		cores[i] = core.New(cc, stream, prog.Image, d, uncore)
-	}
-
-	for t := uint64(0); t < rc.WarmCycles; t++ {
-		for _, c := range cores {
-			c.Tick()
-		}
-	}
-	for _, c := range cores {
-		c.ResetMetrics()
-	}
-	uncore.LLC.ResetStats()
-	uncore.Mesh.ResetStats()
-	uncore.DRAM.ResetStats()
-	for t := uint64(0); t < rc.MeasureCycles; t++ {
-		for _, c := range cores {
-			c.Tick()
-		}
-	}
-
-	res := Result{
-		Workload:    rc.Workload.Name,
-		Design:      designs[0].Name(),
-		PerCore:     make([]core.Metrics, rc.Cores),
-		LLCStats:    uncore.LLC.Stats(),
-		NoCFlits:    uncore.Mesh.Flits(),
-		NoCQueued:   uncore.Mesh.QueuedCycles(),
-		DRAMQueued:  uncore.DRAM.QueuedCycles(),
-		StorageBits: designs[0].StorageBits(),
-	}
-	for i, c := range cores {
-		res.PerCore[i] = c.M
-		res.M.Add(&c.M)
-	}
-	res.Designs = designs
-	return res, nil
+		return stream, func() { f.Close() }, nil
+	})
 }
 
 // WriteTrace renders n committed instructions of the workload to path in

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"dnc/internal/prefetch"
+	"dnc/internal/trace"
+)
+
+func writeSmallTrace(t *testing.T, records uint64) string {
+	t.Helper()
+	path := t.TempDir() + "/replay.dnct"
+	if err := WriteTrace(smallWorkload(), 1, records, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func replayConfig() RunConfig {
+	return RunConfig{
+		Workload:      smallWorkload(),
+		NewDesign:     func() prefetch.Design { return prefetch.NewBaseline(2048) },
+		Cores:         1, // skip offset 0: replay reaches the corrupt tail
+		WarmCycles:    10_000,
+		MeasureCycles: 10_000,
+		Seed:          1,
+	}
+}
+
+// TestRunTraceCheckedCorruptTail replays a trace with trailing garbage: a
+// stray flags byte whose record body is missing. The decoder error surfaces
+// as a *RunError wrapping trace.ReplayError instead of a process abort.
+func TestRunTraceCheckedCorruptTail(t *testing.T) {
+	path := writeSmallTrace(t, 3000)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, err = RunTraceChecked(context.Background(), replayConfig(), path)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %v", err)
+	}
+	var rpe *trace.ReplayError
+	if !errors.As(err, &rpe) {
+		t.Fatalf("cause is not a trace.ReplayError: %v", err)
+	}
+}
+
+// TestRunTraceCheckedTruncatedMidRecord cuts a trace off in the middle of a
+// record; mid-replay truncation must surface as an error, not kill the run.
+func TestRunTraceCheckedTruncatedMidRecord(t *testing.T) {
+	path := writeSmallTrace(t, 3000)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunTraceChecked(context.Background(), replayConfig(), path)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %v", err)
+	}
+}
+
+// TestRunTraceCheckedTruncatedHeader: a file shorter than the header fails
+// cleanly at stream construction.
+func TestRunTraceCheckedTruncatedHeader(t *testing.T) {
+	path := t.TempDir() + "/short.dnct"
+	if err := os.WriteFile(path, []byte("DN"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunTraceChecked(context.Background(), replayConfig(), path)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %v", err)
+	}
+}

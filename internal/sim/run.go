@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	wl "dnc/internal/cfg"
+	"dnc/internal/core"
+	"dnc/internal/isa"
+	"dnc/internal/llc"
+	"dnc/internal/noc"
+	"dnc/internal/prefetch"
+)
+
+// DefaultWatchdogCycles is the livelock threshold used when
+// RunConfig.WatchdogCycles is zero: the run aborts when no core retires a
+// single instruction for this many consecutive cycles. Legitimate runs
+// retire continuously (the longest stalls are redirect bubbles and LLC/DRAM
+// round trips, i.e. tens to hundreds of cycles), so this is three orders of
+// magnitude above any real stall.
+const DefaultWatchdogCycles = 100_000
+
+// checkEvery is the cadence, in cycles, at which the engine polls the
+// context and the watchdog. It keeps the hot tick loop branch-cheap.
+const checkEvery = 1 << 10
+
+// applyDefaults fills the zero-valued fields of a RunConfig with the
+// paper's defaults (shared by Run, RunTrace, and the checked variants).
+func applyDefaults(rc RunConfig) RunConfig {
+	if rc.Cores == 0 {
+		rc.Cores = 4
+	}
+	if rc.WarmCycles == 0 {
+		rc.WarmCycles = 200_000
+	}
+	if rc.MeasureCycles == 0 {
+		rc.MeasureCycles = 200_000
+	}
+	if rc.Core.FetchWidth == 0 {
+		rc.Core = core.DefaultConfig()
+	}
+	if rc.LLC.SizeBytes == 0 {
+		rc.LLC = llc.DefaultConfig()
+		// Variable-length workloads need the DV-LLC for branch footprints;
+		// an explicitly supplied LLC configuration is taken as-is (the
+		// Section VII.J experiment compares DV on against DV off).
+		if rc.Workload.Mode == isa.Variable {
+			rc.LLC.DVEnabled = true
+		}
+	}
+	if rc.WatchdogCycles == 0 {
+		rc.WatchdogCycles = DefaultWatchdogCycles
+	}
+	return rc
+}
+
+// Validate reports whether the configuration can be simulated. Zero-valued
+// fields are interpreted as their defaults (see Run). It catches the
+// misconfigurations that would otherwise surface as panics or nonsense
+// results deep inside the machine model.
+func (rc RunConfig) Validate() error {
+	rc = applyDefaults(rc)
+	if rc.NewDesign == nil {
+		return errors.New("sim: RunConfig.NewDesign is nil")
+	}
+	mesh := noc.DefaultConfig()
+	if tiles := mesh.Width * mesh.Height; rc.Cores < 1 || rc.Cores > tiles {
+		return fmt.Errorf("sim: Cores = %d outside the %dx%d mesh (1..%d)",
+			rc.Cores, mesh.Width, mesh.Height, tiles)
+	}
+	if rc.Workload.FootprintBytes <= 0 {
+		return fmt.Errorf("sim: workload %q has non-positive footprint %d",
+			rc.Workload.Name, rc.Workload.FootprintBytes)
+	}
+	w := &rc.Workload
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"CondFrac", w.CondFrac}, {"JumpFrac", w.JumpFrac},
+		{"CallFrac", w.CallFrac}, {"IndirectCallFrac", w.IndirectCallFrac},
+		{"StableBiasFrac", w.StableBiasFrac}, {"TakenBias", w.TakenBias},
+		{"WeakBias", w.WeakBias}, {"BackwardFrac", w.BackwardFrac},
+		{"RareBlockFrac", w.RareBlockFrac}, {"RareExecProb", w.RareExecProb},
+		{"HotFuncFrac", w.HotFuncFrac}, {"HotCallProb", w.HotCallProb},
+		{"LoadFrac", w.LoadFrac}, {"StoreFrac", w.StoreFrac},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("sim: workload %q: %s = %v outside [0,1]",
+				w.Name, f.name, f.v)
+		}
+	}
+	if s := w.CondFrac + w.JumpFrac + w.CallFrac; s > 1 {
+		return fmt.Errorf("sim: workload %q: branch kind fractions sum to %v > 1", w.Name, s)
+	}
+	if s := w.LoadFrac + w.StoreFrac; s > 1 {
+		return fmt.Errorf("sim: workload %q: memory op fractions sum to %v > 1", w.Name, s)
+	}
+	return nil
+}
+
+// RunError is the failure of one simulation run: a validation error, a
+// panic recovered from any layer of the machine model (with its stack), a
+// context cancellation/timeout, or a livelock abort. It carries the
+// offending configuration so a sweep can report exactly which cell died.
+type RunError struct {
+	Config RunConfig
+	// Stack is the goroutine stack at the point of a recovered panic (nil
+	// for non-panic failures).
+	Stack []byte
+	Err   error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	name := e.Config.Workload.Name
+	if name == "" {
+		name = "<unnamed workload>"
+	}
+	return fmt.Sprintf("sim: run of %s failed: %v", name, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// ErrLivelock matches (via errors.Is) runs aborted by the watchdog.
+var ErrLivelock = errors.New("sim: no retirement progress (livelock)")
+
+// Snapshot is the machine state attached to a livelock abort: what every
+// core was stalled on, MSHR occupancy, and the shared-fabric request
+// counters at the moment the watchdog fired.
+type Snapshot struct {
+	Cycle uint64
+	Cores []core.DiagSnapshot
+	// Shared-fabric activity since the last stats reset: requests injected
+	// into the NoC and DRAM, and cumulative cycles spent queued behind busy
+	// links / exhausted memory bandwidth.
+	NoCPackets  uint64
+	NoCQueued   uint64
+	DRAMAccess  uint64
+	DRAMQueued  uint64
+}
+
+// String renders the snapshot compactly for logs.
+func (s Snapshot) String() string {
+	out := fmt.Sprintf("cycle %d; noc %d pkts (%d queued cyc); dram %d acc (%d queued cyc)",
+		s.Cycle, s.NoCPackets, s.NoCQueued, s.DRAMAccess, s.DRAMQueued)
+	for _, c := range s.Cores {
+		out += fmt.Sprintf("\n  tile %d: retired %d, stalled on %s, rob %d/%d, mshr %d/%d",
+			c.Tile, c.Retired, c.StallCause, c.ROBUsed, c.ROBCap, c.MSHRUsed, c.MSHRCap)
+	}
+	return out
+}
+
+// LivelockError is returned (wrapped in a RunError) when aggregate
+// retirement made no progress for the watchdog window.
+type LivelockError struct {
+	// NoProgressCycles is how long retirement was flat before the abort.
+	NoProgressCycles uint64
+	Snapshot         Snapshot
+}
+
+// Error implements error.
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("%v after %d cycles without retirement\n%s",
+		ErrLivelock, e.NoProgressCycles, e.Snapshot)
+}
+
+// Is matches ErrLivelock.
+func (e *LivelockError) Is(target error) bool { return target == ErrLivelock }
+
+// streamMaker builds core i's instruction stream; the default (nil) wires a
+// seeded workload walker. It may return a closer for underlying resources.
+type streamMaker func(i int, prog *wl.Program) (wl.Stream, func(), error)
+
+// RunChecked executes one simulation with full fault isolation: the
+// configuration is validated first, panics from any layer of the machine
+// model are recovered into a *RunError carrying the config and stack, the
+// context is honored (cancellation and deadlines abort the run between
+// ticks), and a livelock watchdog aborts with a diagnostic Snapshot when no
+// core retires an instruction for RunConfig.WatchdogCycles cycles.
+//
+// Every returned error is a *RunError; use errors.Is/As to classify the
+// cause (context.Canceled, context.DeadlineExceeded, ErrLivelock, ...).
+func RunChecked(ctx context.Context, rc RunConfig) (Result, error) {
+	return runChecked(ctx, rc, nil)
+}
+
+func runChecked(ctx context.Context, rc RunConfig, mk streamMaker) (res Result, err error) {
+	rc = applyDefaults(rc)
+	if verr := rc.Validate(); verr != nil {
+		return Result{}, &RunError{Config: rc, Err: verr}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			perr, ok := r.(error)
+			if !ok {
+				perr = fmt.Errorf("panic: %v", r)
+			}
+			err = &RunError{Config: rc, Err: perr, Stack: debug.Stack()}
+		}
+	}()
+
+	prog := Program(rc.Workload)
+	uncore := core.NewUncore(rc.LLC)
+	if !rc.NoPreload {
+		uncore.Preload(prog.Image)
+	}
+
+	cores := make([]*core.Core, rc.Cores)
+	designs := make([]prefetch.Design, rc.Cores)
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for i := range cores {
+		cc := rc.Core
+		cc.Tile = i
+		var stream wl.Stream
+		if mk == nil {
+			stream = wl.NewWalker(prog, rc.Seed*1000+int64(i)+1)
+		} else {
+			s, closer, serr := mk(i, prog)
+			if serr != nil {
+				return Result{}, &RunError{Config: rc, Err: serr}
+			}
+			if closer != nil {
+				closers = append(closers, closer)
+			}
+			stream = s
+		}
+		d := rc.NewDesign()
+		designs[i] = d
+		cores[i] = core.New(cc, stream, prog.Image, d, uncore)
+	}
+
+	watch := newWatchdog(rc, cores, uncore)
+	if aerr := tickWindow(ctx, rc.WarmCycles, cores, watch); aerr != nil {
+		return Result{}, &RunError{Config: rc, Err: aerr}
+	}
+	for _, c := range cores {
+		c.ResetMetrics()
+	}
+	uncore.LLC.ResetStats()
+	uncore.Mesh.ResetStats()
+	uncore.DRAM.ResetStats()
+	if aerr := tickWindow(ctx, rc.MeasureCycles, cores, watch); aerr != nil {
+		return Result{}, &RunError{Config: rc, Err: aerr}
+	}
+
+	res = Result{
+		Workload:    rc.Workload.Name,
+		Design:      designs[0].Name(),
+		PerCore:     make([]core.Metrics, rc.Cores),
+		LLCStats:    uncore.LLC.Stats(),
+		NoCFlits:    uncore.Mesh.Flits(),
+		NoCQueued:   uncore.Mesh.QueuedCycles(),
+		DRAMQueued:  uncore.DRAM.QueuedCycles(),
+		StorageBits: designs[0].StorageBits(),
+		Designs:     designs,
+	}
+	for i, c := range cores {
+		res.PerCore[i] = c.M
+		res.M.Add(&c.M)
+	}
+	return res, nil
+}
+
+// watchdog tracks aggregate retirement across windows; it persists across
+// the warm-up/measure boundary so a design that stalls right at the window
+// edge is still caught.
+type watchdog struct {
+	threshold uint64 // 0 = disabled
+	cores     []*core.Core
+	uncore    *core.Uncore
+	cycle     uint64 // global cycle across both windows
+	lastSum   uint64
+	lastAt    uint64
+}
+
+func newWatchdog(rc RunConfig, cores []*core.Core, uncore *core.Uncore) *watchdog {
+	w := &watchdog{cores: cores, uncore: uncore}
+	if rc.WatchdogCycles > 0 {
+		w.threshold = uint64(rc.WatchdogCycles)
+	}
+	return w
+}
+
+// check is called every checkEvery cycles; it returns a *LivelockError when
+// retirement has been flat for at least the threshold.
+func (w *watchdog) check() error {
+	if w.threshold == 0 {
+		return nil
+	}
+	var sum uint64
+	for _, c := range w.cores {
+		sum += c.Progress()
+	}
+	if sum != w.lastSum {
+		w.lastSum, w.lastAt = sum, w.cycle
+		return nil
+	}
+	if stuck := w.cycle - w.lastAt; stuck >= w.threshold {
+		return &LivelockError{NoProgressCycles: stuck, Snapshot: w.snapshot()}
+	}
+	return nil
+}
+
+func (w *watchdog) snapshot() Snapshot {
+	s := Snapshot{
+		Cycle:      w.cycle,
+		Cores:      make([]core.DiagSnapshot, len(w.cores)),
+		NoCPackets: w.uncore.Mesh.Packets(),
+		NoCQueued:  w.uncore.Mesh.QueuedCycles(),
+		DRAMAccess: w.uncore.DRAM.Accesses(),
+		DRAMQueued: w.uncore.DRAM.QueuedCycles(),
+	}
+	for i, c := range w.cores {
+		s.Cores[i] = c.Diag()
+	}
+	return s
+}
+
+// tickWindow advances all cores n cycles, polling the context and the
+// watchdog every checkEvery cycles.
+func tickWindow(ctx context.Context, n uint64, cores []*core.Core, w *watchdog) error {
+	for t := uint64(0); t < n; t++ {
+		for _, c := range cores {
+			c.Tick()
+		}
+		w.cycle++
+		if w.cycle%checkEvery == 0 {
+			if ctx != nil {
+				select {
+				case <-ctx.Done():
+					return fmt.Errorf("run aborted at cycle %d: %w", w.cycle, ctx.Err())
+				default:
+				}
+			}
+			if err := w.check(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dnc/internal/isa"
+	"dnc/internal/prefetch"
+)
+
+// stuckDesign gates the FTQ closed forever: fetch never proceeds, nothing
+// retires, and the livelock watchdog must fire.
+type stuckDesign struct{ prefetch.Base }
+
+func (*stuckDesign) Name() string                                    { return "stuck" }
+func (*stuckDesign) BTBLookup(isa.Addr, isa.Kind) (isa.Addr, bool)   { return 0, false }
+func (*stuckDesign) BTBCommit(isa.Addr, isa.Kind, isa.Addr, bool)    {}
+func (*stuckDesign) FTQGate(isa.Addr) bool                           { return false }
+
+func newStuck() prefetch.Design { return &stuckDesign{} }
+
+func checkedConfig() RunConfig {
+	return RunConfig{
+		Workload:      smallWorkload(),
+		NewDesign:     func() prefetch.Design { return prefetch.NewBaseline(2048) },
+		Cores:         2,
+		WarmCycles:    20_000,
+		MeasureCycles: 20_000,
+		Seed:          1,
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	good := checkedConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	bad := good
+	bad.NewDesign = nil
+	if bad.Validate() == nil {
+		t.Error("nil NewDesign accepted")
+	}
+
+	bad = good
+	bad.Cores = 17
+	if bad.Validate() == nil {
+		t.Error("17 cores on a 4x4 mesh accepted")
+	}
+	bad.Cores = -1
+	if bad.Validate() == nil {
+		t.Error("negative cores accepted")
+	}
+
+	bad = good
+	bad.Workload.FootprintBytes = -5
+	if bad.Validate() == nil {
+		t.Error("negative footprint accepted")
+	}
+
+	bad = good
+	bad.Workload.CondFrac = 1.5
+	if bad.Validate() == nil {
+		t.Error("CondFrac > 1 accepted")
+	}
+
+	bad = good
+	bad.Workload.CondFrac, bad.Workload.JumpFrac, bad.Workload.CallFrac = 0.5, 0.4, 0.3
+	if bad.Validate() == nil {
+		t.Error("branch fractions summing past 1 accepted")
+	}
+}
+
+func TestRunCheckedMatchesRun(t *testing.T) {
+	rc := checkedConfig()
+	direct := Run(rc)
+	checked, err := RunChecked(context.Background(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.M != checked.M {
+		t.Fatalf("checked run diverged from Run:\n%+v\n%+v", direct.M, checked.M)
+	}
+}
+
+func TestRunCheckedInvalidConfig(t *testing.T) {
+	rc := checkedConfig()
+	rc.NewDesign = nil
+	_, err := RunChecked(context.Background(), rc)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %v", err)
+	}
+}
+
+func TestRunCheckedRecoversPanic(t *testing.T) {
+	rc := checkedConfig()
+	rc.NewDesign = func() prefetch.Design { panic("injected design failure") }
+	_, err := RunChecked(context.Background(), rc)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %v", err)
+	}
+	if !strings.Contains(re.Error(), "injected design failure") {
+		t.Errorf("panic message lost: %v", re)
+	}
+	if len(re.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if re.Config.Workload.Name != rc.Workload.Name {
+		t.Errorf("offending config not attached: %+v", re.Config.Workload.Name)
+	}
+}
+
+func TestWatchdogFiresOnLivelock(t *testing.T) {
+	rc := checkedConfig()
+	rc.NewDesign = newStuck
+	rc.WatchdogCycles = 4000
+	_, err := RunChecked(context.Background(), rc)
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("want livelock, got %v", err)
+	}
+	var le *LivelockError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LivelockError in chain, got %v", err)
+	}
+	if le.NoProgressCycles < 4000 {
+		t.Errorf("aborted after only %d stuck cycles", le.NoProgressCycles)
+	}
+	snap := le.Snapshot
+	if len(snap.Cores) != rc.Cores {
+		t.Fatalf("snapshot has %d cores, want %d", len(snap.Cores), rc.Cores)
+	}
+	for _, cs := range snap.Cores {
+		if cs.Retired != 0 {
+			t.Errorf("tile %d retired %d while supposedly stuck", cs.Tile, cs.Retired)
+		}
+		if cs.StallCause == "" {
+			t.Errorf("tile %d has no stall cause", cs.Tile)
+		}
+		if cs.MSHRCap == 0 || cs.ROBCap == 0 {
+			t.Errorf("tile %d snapshot missing capacities: %+v", cs.Tile, cs)
+		}
+	}
+	if !strings.Contains(err.Error(), "stalled on") {
+		t.Errorf("error does not render snapshot: %v", err)
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	// A negative threshold disables the watchdog: the stuck run must then be
+	// bounded by the context instead of the watchdog.
+	rc := checkedConfig()
+	rc.NewDesign = newStuck
+	rc.WatchdogCycles = -1
+	rc.WarmCycles = 1 << 40 // would run ~forever without the deadline
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := RunChecked(ctx, rc)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+}
+
+func TestRunCheckedHonorsCancel(t *testing.T) {
+	rc := checkedConfig()
+	rc.WarmCycles = 1 << 40
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunChecked(ctx, rc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want canceled, got %v", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("cancellation not wrapped in *RunError: %v", err)
+	}
+}
+
+func TestRunPanicsOnLivelock(t *testing.T) {
+	rc := checkedConfig()
+	rc.NewDesign = newStuck
+	rc.WatchdogCycles = 3000
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run did not panic on livelock")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrLivelock) {
+			t.Fatalf("Run panicked with %v, want livelock error", r)
+		}
+	}()
+	Run(rc)
+}
+
+func TestDerivedMetricsZeroRetirement(t *testing.T) {
+	base := Run(checkedConfig())
+	var dead Result // e.g. a failed cell's zero value
+	for name, v := range map[string]float64{
+		"FSCR":           FSCR(dead, base),
+		"BandwidthRatio": BandwidthRatio(dead, base),
+		"LookupRatio":    LookupRatio(dead, base),
+		"Speedup":        Speedup(dead, base),
+		"FSCR-dead-base": FSCR(base, dead),
+		"BW-dead-base":   BandwidthRatio(base, dead),
+		"LK-dead-base":   LookupRatio(base, dead),
+	} {
+		if v != 0 {
+			t.Errorf("%s with zero retirement = %v, want 0", name, v)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dnc/internal/core"
+	"dnc/internal/llc"
+	"dnc/internal/sim"
+)
+
+// journalEntry is one JSONL line: a finished cell. Failed cells are
+// journaled too (with their error) so a post-mortem can read the whole
+// sweep from the file, but only "ok" entries are skipped on resume — a
+// re-run retries everything that did not complete.
+type journalEntry struct {
+	ID        string         `json:"id"`
+	Status    Status         `json:"status"`
+	Attempts  int            `json:"attempts"`
+	ElapsedMS int64          `json:"elapsed_ms"`
+	Error     string         `json:"error,omitempty"`
+	Result    *journalResult `json:"result,omitempty"`
+}
+
+// journalResult mirrors sim.Result minus the live Design instances (an
+// interface slice that cannot round-trip through JSON). A resumed cell
+// therefore restores every metric but not per-design probe state.
+type journalResult struct {
+	Workload    string         `json:"workload"`
+	Design      string         `json:"design"`
+	M           core.Metrics   `json:"m"`
+	PerCore     []core.Metrics `json:"per_core,omitempty"`
+	LLCStats    llc.Stats      `json:"llc"`
+	NoCFlits    uint64         `json:"noc_flits"`
+	NoCQueued   uint64         `json:"noc_queued"`
+	DRAMQueued  uint64         `json:"dram_queued"`
+	StorageBits int            `json:"storage_bits"`
+}
+
+func toJournalResult(r sim.Result) *journalResult {
+	return &journalResult{
+		Workload:    r.Workload,
+		Design:      r.Design,
+		M:           r.M,
+		PerCore:     r.PerCore,
+		LLCStats:    r.LLCStats,
+		NoCFlits:    r.NoCFlits,
+		NoCQueued:   r.NoCQueued,
+		DRAMQueued:  r.DRAMQueued,
+		StorageBits: r.StorageBits,
+	}
+}
+
+func (jr *journalResult) toResult() sim.Result {
+	return sim.Result{
+		Workload:    jr.Workload,
+		Design:      jr.Design,
+		M:           jr.M,
+		PerCore:     jr.PerCore,
+		LLCStats:    jr.LLCStats,
+		NoCFlits:    jr.NoCFlits,
+		NoCQueued:   jr.NoCQueued,
+		DRAMQueued:  jr.DRAMQueued,
+		StorageBits: jr.StorageBits,
+	}
+}
+
+// journal is the append-only run record. Reads happen once at open; appends
+// are serialized by the sweep's result mutex.
+type journal struct {
+	f    *os.File
+	done map[string]sim.Result // cells journaled "ok" by a previous sweep
+}
+
+// openJournal loads completed cells from an existing journal (if any) and
+// opens it for appending. A corrupt trailing line — e.g. from a process
+// killed mid-write — is skipped rather than fatal: the cell it described
+// simply re-runs.
+func openJournal(path string) (*journal, error) {
+	j := &journal{done: make(map[string]sim.Result)}
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e journalEntry
+			if json.Unmarshal(line, &e) != nil {
+				continue
+			}
+			if e.Status == StatusOK && e.Result != nil {
+				j.done[e.ID] = e.Result.toResult()
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("runner: reading journal %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runner: opening journal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: opening journal %s for append: %w", path, err)
+	}
+	// A process killed mid-write leaves a partial line with no trailing
+	// newline; appending straight onto it would corrupt the next record
+	// too. Start appends on a fresh line.
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], fi.Size()-1); err == nil && last[0] != '\n' {
+			f.Write([]byte("\n"))
+		}
+	}
+	j.f = f
+	return j, nil
+}
+
+// completed reports whether a previous sweep already finished the cell,
+// returning its restored result. Safe on a nil journal.
+func (j *journal) completed(id string) (sim.Result, bool) {
+	if j == nil {
+		return sim.Result{}, false
+	}
+	r, ok := j.done[id]
+	return r, ok
+}
+
+// append writes one finished cell as a single JSONL line and syncs it so a
+// kill -9 right after loses at most the in-flight cells, never a recorded
+// one. Caller must serialize.
+func (j *journal) append(res CellResult) {
+	e := journalEntry{
+		ID:        res.ID,
+		Status:    res.Status,
+		Attempts:  res.Attempts,
+		ElapsedMS: res.Elapsed.Milliseconds(),
+	}
+	if res.Err != nil {
+		e.Error = res.Err.Error()
+	}
+	if res.Status == StatusOK {
+		e.Result = toJournalResult(res.Result)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return // a result that cannot marshal is simply not journaled
+	}
+	j.f.Write(append(line, '\n'))
+	j.f.Sync()
+}
+
+func (j *journal) close() {
+	if j != nil && j.f != nil {
+		j.f.Close()
+	}
+}

@@ -1,0 +1,256 @@
+// Package runner is the fault-tolerant parallel sweep engine. It fans
+// simulation cells (workload × design × seed points) across a bounded pool
+// of workers, isolates each cell's failures through sim.RunChecked (panics,
+// livelocks, timeouts become recorded data, not process aborts), retries
+// transiently failed cells with exponential backoff, and journals every
+// finished cell to a JSONL file so an interrupted sweep resumes where it
+// stopped instead of starting over.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dnc/internal/sim"
+)
+
+// Cell is one unit of a sweep: a run configuration under a stable ID. The
+// ID is the cell's journal identity — it must be unique within a sweep and
+// stable across processes for resumption to work.
+type Cell struct {
+	ID     string
+	Config sim.RunConfig
+	// TracePath, when non-empty, replays the recorded trace instead of
+	// walking the workload live.
+	TracePath string
+}
+
+// Status classifies a cell's outcome.
+type Status string
+
+const (
+	// StatusOK is a successfully completed run.
+	StatusOK Status = "ok"
+	// StatusFailed is a run whose final attempt errored (panic, livelock,
+	// timeout, validation, cancellation).
+	StatusFailed Status = "failed"
+	// StatusResumed is a cell skipped because a journal from a previous
+	// sweep already records it as completed; its Result is restored from
+	// the journal (without the live Design instances).
+	StatusResumed Status = "resumed"
+)
+
+// CellResult is the outcome of one cell.
+type CellResult struct {
+	ID       string
+	Status   Status
+	Result   sim.Result // valid when Status is ok or resumed
+	Err      error      // non-nil when Status is failed
+	Attempts int
+	Elapsed  time.Duration
+}
+
+// Options tunes a sweep.
+type Options struct {
+	// Jobs bounds concurrently executing cells (0 = GOMAXPROCS).
+	Jobs int
+	// Timeout is the per-attempt wall-clock budget (0 = none).
+	Timeout time.Duration
+	// Retries is how many times a transiently failed cell is re-attempted
+	// after its first failure.
+	Retries int
+	// Backoff is the delay before the first retry; it doubles per attempt
+	// (0 = 100ms).
+	Backoff time.Duration
+	// JournalPath appends every finished cell to this JSONL file and, when
+	// the file already holds completed cells from an earlier sweep, skips
+	// re-executing them ("" = no journal).
+	JournalPath string
+	// Transient reports whether an error is worth retrying. Defaults to
+	// timeouts only: in a deterministic simulator a panic or livelock
+	// reproduces on every attempt, but a timeout may just mean the machine
+	// was oversubscribed.
+	Transient func(error) bool
+	// OnResult, when set, observes each finished cell (called serially).
+	OnResult func(CellResult)
+}
+
+// Report summarizes a sweep. Cells holds one result per input cell, in
+// input order.
+type Report struct {
+	Cells []CellResult
+	// OK counts freshly completed cells, Resumed journal-restored ones,
+	// Failed cells whose every attempt errored.
+	OK, Resumed, Failed int
+}
+
+// ByID returns the result for a cell ID.
+func (r *Report) ByID(id string) (CellResult, bool) {
+	for _, c := range r.Cells {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return CellResult{}, false
+}
+
+// FirstErr returns the first failed cell's error, or nil.
+func (r *Report) FirstErr() error {
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			return fmt.Errorf("cell %s: %w", c.ID, c.Err)
+		}
+	}
+	return nil
+}
+
+func defaultTransient(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// Sweep executes the cells through a bounded worker pool and returns a
+// report with one entry per cell. A failing cell never aborts the sweep:
+// its error is recorded and the remaining cells continue. Sweep itself
+// returns an error only for setup problems (duplicate IDs, unreadable or
+// unwritable journal) or when ctx is cancelled — and in the latter case the
+// partial report is still returned, with unstarted cells marked failed with
+// the context's error.
+func Sweep(ctx context.Context, cells []Cell, o Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	seen := make(map[string]struct{}, len(cells))
+	for _, c := range cells {
+		if c.ID == "" {
+			return nil, errors.New("runner: cell with empty ID")
+		}
+		if _, dup := seen[c.ID]; dup {
+			return nil, fmt.Errorf("runner: duplicate cell ID %q", c.ID)
+		}
+		seen[c.ID] = struct{}{}
+	}
+
+	var jr *journal
+	if o.JournalPath != "" {
+		var err error
+		if jr, err = openJournal(o.JournalPath); err != nil {
+			return nil, err
+		}
+		defer jr.close()
+	}
+
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+
+	rep := &Report{Cells: make([]CellResult, len(cells))}
+	var mu sync.Mutex // guards journal appends and OnResult
+	finish := func(i int, res CellResult) {
+		rep.Cells[i] = res
+		mu.Lock()
+		defer mu.Unlock()
+		if jr != nil && res.Status != StatusResumed {
+			jr.append(res)
+		}
+		if o.OnResult != nil {
+			o.OnResult(res)
+		}
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				cell := cells[i]
+				if done, ok := jr.completed(cell.ID); ok {
+					finish(i, CellResult{
+						ID:     cell.ID,
+						Status: StatusResumed,
+						Result: done,
+					})
+					continue
+				}
+				finish(i, runCell(ctx, cell, o))
+			}
+		}()
+	}
+	for i := range cells {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for _, c := range rep.Cells {
+		switch c.Status {
+		case StatusOK:
+			rep.OK++
+		case StatusResumed:
+			rep.Resumed++
+		default:
+			rep.Failed++
+		}
+	}
+	return rep, ctx.Err()
+}
+
+// runCell executes one cell with per-attempt timeouts and transient-error
+// retries.
+func runCell(ctx context.Context, c Cell, o Options) CellResult {
+	transient := o.Transient
+	if transient == nil {
+		transient = defaultTransient
+	}
+	start := time.Now()
+	out := CellResult{ID: c.ID, Status: StatusFailed}
+	for attempt := 1; ; attempt++ {
+		out.Attempts = attempt
+		if err := ctx.Err(); err != nil {
+			out.Err = err
+			break
+		}
+		rctx := ctx
+		var cancel context.CancelFunc
+		if o.Timeout > 0 {
+			rctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		}
+		var (
+			r   sim.Result
+			err error
+		)
+		if c.TracePath != "" {
+			r, err = sim.RunTraceChecked(rctx, c.Config, c.TracePath)
+		} else {
+			r, err = sim.RunChecked(rctx, c.Config)
+		}
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			out.Status = StatusOK
+			out.Result = r
+			break
+		}
+		out.Err = err
+		if attempt > o.Retries || !transient(err) {
+			break
+		}
+		backoff := o.Backoff
+		if backoff <= 0 {
+			backoff = 100 * time.Millisecond
+		}
+		select {
+		case <-time.After(backoff << (attempt - 1)):
+		case <-ctx.Done():
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out
+}

@@ -11,7 +11,6 @@ import (
 
 	wl "dnc/internal/cfg"
 	"dnc/internal/core"
-	"dnc/internal/isa"
 	"dnc/internal/llc"
 	"dnc/internal/prefetch"
 )
@@ -35,6 +34,11 @@ type RunConfig struct {
 	LLC llc.Config
 	// NoPreload skips installing the code image in the LLC before warm-up.
 	NoPreload bool
+	// WatchdogCycles is the livelock threshold: the run aborts (through
+	// RunChecked; Run panics) when no core retires an instruction for this
+	// many consecutive cycles. 0 selects DefaultWatchdogCycles; negative
+	// disables the watchdog.
+	WatchdogCycles int64
 }
 
 // Result is the outcome of one simulation run.
@@ -100,81 +104,15 @@ func Program(p wl.Params) *wl.Program {
 	return prog
 }
 
-// Run executes one simulation and returns its result.
+// Run executes one simulation and returns its result. It panics on
+// misconfiguration or livelock; callers that need failures as data (sweep
+// engines, CLIs) should use RunChecked instead.
 func Run(rc RunConfig) Result {
-	if rc.Cores == 0 {
-		rc.Cores = 4
+	r, err := runChecked(nil, rc, nil)
+	if err != nil {
+		panic(err)
 	}
-	if rc.WarmCycles == 0 {
-		rc.WarmCycles = 200_000
-	}
-	if rc.MeasureCycles == 0 {
-		rc.MeasureCycles = 200_000
-	}
-	if rc.Core.FetchWidth == 0 {
-		rc.Core = core.DefaultConfig()
-	}
-	if rc.LLC.SizeBytes == 0 {
-		rc.LLC = llc.DefaultConfig()
-		// Variable-length workloads need the DV-LLC for branch footprints;
-		// an explicitly supplied LLC configuration is taken as-is (the
-		// Section VII.J experiment compares DV on against DV off).
-		if rc.Workload.Mode == isa.Variable {
-			rc.LLC.DVEnabled = true
-		}
-	}
-
-	prog := Program(rc.Workload)
-	uncore := core.NewUncore(rc.LLC)
-	if !rc.NoPreload {
-		uncore.Preload(prog.Image)
-	}
-
-	cores := make([]*core.Core, rc.Cores)
-	designs := make([]prefetch.Design, rc.Cores)
-	for i := range cores {
-		cc := rc.Core
-		cc.Tile = i
-		walker := wl.NewWalker(prog, rc.Seed*1000+int64(i)+1)
-		d := rc.NewDesign()
-		designs[i] = d
-		cores[i] = core.New(cc, walker, prog.Image, d, uncore)
-	}
-
-	for t := uint64(0); t < rc.WarmCycles; t++ {
-		for _, c := range cores {
-			c.Tick()
-		}
-	}
-	for _, c := range cores {
-		c.ResetMetrics()
-	}
-	uncore.LLC.ResetStats()
-	uncore.Mesh.ResetStats()
-	uncore.DRAM.ResetStats()
-
-	for t := uint64(0); t < rc.MeasureCycles; t++ {
-		for _, c := range cores {
-			c.Tick()
-		}
-	}
-
-	res := Result{
-		Workload:    rc.Workload.Name,
-		Design:      designs[0].Name(),
-		PerCore:     make([]core.Metrics, rc.Cores),
-		LLCStats:    uncore.LLC.Stats(),
-		NoCFlits:    uncore.Mesh.Flits(),
-		NoCQueued:   uncore.Mesh.QueuedCycles(),
-		DRAMQueued:  uncore.DRAM.QueuedCycles(),
-		StorageBits: designs[0].StorageBits(),
-		Designs:     designs,
-	}
-	for i, c := range cores {
-		res.PerCore[i] = c.M
-		res.M.Add(&c.M)
-	}
-	return res
+	return r
 }
 
 // RunSamples executes n independently seeded runs of the same configuration.
@@ -221,34 +159,45 @@ func SeqMissCoverage(r, base Result) float64 {
 	return 1 - r.M.MPKI(r.M.SeqMisses)/b
 }
 
+// perInst returns count/retired, or 0 when nothing retired (a failed or
+// degenerate run contributes a defined zero instead of NaN/Inf).
+func perInst(count, retired uint64) float64 {
+	if retired == 0 {
+		return 0
+	}
+	return float64(count) / float64(retired)
+}
+
 // FSCR returns the frontend stall cycle reduction (Fig. 15): the fraction
 // of the baseline's L1i/BTB-induced stall cycles (per instruction)
-// eliminated by the design.
+// eliminated by the design. Runs with zero retirement contribute 0.
 func FSCR(r, base Result) float64 {
-	bi := float64(base.M.FrontendStalls()) / float64(base.M.Retired)
+	if r.M.Retired == 0 {
+		return 0
+	}
+	bi := perInst(base.M.FrontendStalls(), base.M.Retired)
 	if bi == 0 {
 		return 0
 	}
-	ri := float64(r.M.FrontendStalls()) / float64(r.M.Retired)
-	return 1 - ri/bi
+	return 1 - perInst(r.M.FrontendStalls(), r.M.Retired)/bi
 }
 
 // BandwidthRatio returns r's L1i external requests per instruction relative
-// to base (Fig. 5).
+// to base (Fig. 5). Runs with zero retirement contribute 0.
 func BandwidthRatio(r, base Result) float64 {
-	b := float64(base.M.ExtRequests) / float64(base.M.Retired)
+	b := perInst(base.M.ExtRequests, base.M.Retired)
 	if b == 0 {
 		return 0
 	}
-	return (float64(r.M.ExtRequests) / float64(r.M.Retired)) / b
+	return perInst(r.M.ExtRequests, r.M.Retired) / b
 }
 
 // LookupRatio returns r's L1i cache lookups per instruction relative to
-// base (Fig. 14).
+// base (Fig. 14). Runs with zero retirement contribute 0.
 func LookupRatio(r, base Result) float64 {
-	b := float64(base.M.CacheLookups) / float64(base.M.Retired)
+	b := perInst(base.M.CacheLookups, base.M.Retired)
 	if b == 0 {
 		return 0
 	}
-	return (float64(r.M.CacheLookups) / float64(r.M.Retired)) / b
+	return perInst(r.M.CacheLookups, r.M.Retired) / b
 }

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"dnc/internal/isa"
+)
+
+// FuzzReader throws arbitrary bytes at the trace header/record decoder: it
+// must return errors, never panic or loop, on any input (`go test -fuzz
+// FuzzReader ./internal/trace`). In a plain `go test` run only the seed
+// corpus executes.
+func FuzzReader(f *testing.F) {
+	// Seeds: a valid fixed-mode trace, a valid variable-mode trace, and a
+	// spread of malformed headers/bodies.
+	var fixed bytes.Buffer
+	if w, err := NewWriter(&fixed, isa.Fixed); err == nil {
+		w.Write(Record{PC: 0x1000, Size: isa.FixedSize, Kind: isa.KindALU})
+		w.Write(Record{PC: 0x1004, Size: isa.FixedSize, Kind: isa.KindCondBranch,
+			Target: 0x2000, Taken: true, TargetPC: 0x2000})
+		w.Write(Record{PC: 0x2000, Size: isa.FixedSize, Kind: isa.KindLoad, DataAddr: 0xdead0})
+		w.Flush()
+	}
+	f.Add(fixed.Bytes())
+	var variable bytes.Buffer
+	if w, err := NewWriter(&variable, isa.Variable); err == nil {
+		w.Write(Record{PC: 0x1000, Size: 3, Kind: isa.KindALU})
+		w.Flush()
+	}
+	f.Add(variable.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("DNCT"))
+	f.Add([]byte("DNCT\x01\x00"))
+	f.Add([]byte("DNCT\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte("DNCT\x09\x00\x00"))
+	f.Add(append(fixed.Bytes(), 0x3f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Bounded read loop: every record consumes at least its flags byte,
+		// so more records than input bytes means the decoder fabricates
+		// records out of nothing.
+		for i := 0; i <= len(data); i++ {
+			if _, err := r.Read(); err != nil {
+				return
+			}
+		}
+		t.Fatalf("decoder produced more records than the %d input bytes", len(data))
+	})
+}

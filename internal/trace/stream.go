@@ -50,9 +50,27 @@ func (s *Stream) rewind() error {
 	return nil
 }
 
-// Next implements cfg.Stream. An unreadable or empty trace panics: the
-// stream was validated at construction, so mid-replay corruption is a
-// programming or I/O error the simulation cannot continue through.
+// ReplayError is a mid-replay trace failure (corrupt record, truncated
+// file, I/O error, or an empty trace on loop-around). Because cfg.Stream's
+// Next cannot return an error, Stream.Next raises it as a panic value; the
+// checked run path (sim.RunChecked / sim.RunTraceChecked) recovers it into
+// a typed run error instead of letting it kill the process.
+type ReplayError struct {
+	// Op names the failing operation ("replay", "loop rewind", "empty trace").
+	Op  string
+	Err error
+}
+
+// Error implements error.
+func (e *ReplayError) Error() string { return fmt.Sprintf("trace: %s: %v", e.Op, e.Err) }
+
+// Unwrap exposes the underlying I/O or decode error.
+func (e *ReplayError) Unwrap() error { return e.Err }
+
+// Next implements cfg.Stream. The stream was validated at construction, so
+// mid-replay corruption is an environment error the simulation cannot
+// continue through: Next panics with a *ReplayError, which the checked run
+// path recovers into an error result.
 func (s *Stream) Next(step *wl.Step) {
 	rec, err := s.r.Read()
 	if err == io.EOF {
@@ -63,14 +81,14 @@ func (s *Stream) Next(step *wl.Step) {
 		rerr := s.rewind()
 		s.skip = skip
 		if rerr != nil {
-			panic(fmt.Sprintf("trace: loop rewind failed: %v", rerr))
+			panic(&ReplayError{Op: "loop rewind", Err: rerr})
 		}
 		rec, err = s.r.Read()
 		if err != nil {
-			panic(fmt.Sprintf("trace: empty trace: %v", err))
+			panic(&ReplayError{Op: "empty trace", Err: err})
 		}
 	} else if err != nil {
-		panic(fmt.Sprintf("trace: replay: %v", err))
+		panic(&ReplayError{Op: "replay", Err: err})
 	}
 	s.Records++
 	rec.ToStep(step)

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	wl "dnc/internal/cfg"
+	"dnc/internal/isa"
+)
+
+// seekBuffer is an in-memory io.ReadSeeker over a byte slice.
+type seekBuffer struct{ *bytes.Reader }
+
+func newSeekBuffer(b []byte) *seekBuffer { return &seekBuffer{bytes.NewReader(b)} }
+
+// buildTrace returns the encoded bytes of n sequential fixed-mode records.
+func buildTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, isa.Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := isa.Addr(0x1000)
+	for i := 0; i < n; i++ {
+		if err := w.Write(Record{PC: pc, Size: isa.FixedSize, Kind: isa.KindALU}); err != nil {
+			t.Fatal(err)
+		}
+		pc += isa.Addr(isa.FixedSize)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// mustPanicReplayError runs fn and asserts it panics with a *ReplayError.
+func mustPanicReplayError(t *testing.T, fn func()) *ReplayError {
+	t.Helper()
+	defer func() {
+		if recover() != nil {
+			t.Fatal("panicked past the outer recover — broken test")
+		}
+	}()
+	var got *ReplayError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no panic on corrupt replay")
+			}
+			re, ok := r.(*ReplayError)
+			if !ok {
+				t.Fatalf("panic value %T, want *ReplayError", r)
+			}
+			got = re
+		}()
+		fn()
+	}()
+	return got
+}
+
+func TestStreamCorruptRecordPanicsTyped(t *testing.T) {
+	// A stray flags byte with no record body: the decode fails mid-replay.
+	data := append(buildTrace(t, 3), 0x01)
+	s, err := NewStream(newSeekBuffer(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var step wl.Step
+	for i := 0; i < 3; i++ {
+		s.Next(&step)
+	}
+	re := mustPanicReplayError(t, func() { s.Next(&step) })
+	if re.Op != "replay" {
+		t.Errorf("op = %q, want replay", re.Op)
+	}
+	if re.Unwrap() == nil {
+		t.Error("no wrapped cause")
+	}
+	if !errors.As(error(re), new(*ReplayError)) {
+		t.Error("errors.As does not match")
+	}
+}
+
+func TestStreamTruncatedMidRecordPanicsTyped(t *testing.T) {
+	data := buildTrace(t, 3)
+	s, err := NewStream(newSeekBuffer(data[:len(data)-1]), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var step wl.Step
+	s.Next(&step)
+	s.Next(&step)
+	mustPanicReplayError(t, func() { s.Next(&step) })
+}
+
+func TestStreamHeaderOnlyTraceIsEmpty(t *testing.T) {
+	// A header with zero records loops forever finding nothing: "empty
+	// trace" must be a typed panic, not an infinite loop.
+	data := buildTrace(t, 0)
+	s, err := NewStream(newSeekBuffer(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var step wl.Step
+	re := mustPanicReplayError(t, func() { s.Next(&step) })
+	if re.Op != "empty trace" {
+		t.Errorf("op = %q, want empty trace", re.Op)
+	}
+}
+
+func TestStreamSkipPastEndFailsAtConstruction(t *testing.T) {
+	if _, err := NewStream(newSeekBuffer(buildTrace(t, 3)), 100); err == nil {
+		t.Fatal("skip beyond trace length accepted")
+	}
+}
