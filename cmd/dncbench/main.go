@@ -3,7 +3,7 @@
 // Usage:
 //
 //	dncbench [-scale quick|paper] [-workloads a,b,c] [-only fig16,fig17] [-ablations]
-//	         [-jobs N] [-timeout 10m] [-journal sweep.jsonl]
+//	         [-jobs N] [-timeout 10m] [-journal sweep.jsonl] [-checkpoint-dir ckpts]
 //
 // Each experiment prints the paper's expected result alongside the
 // measured rows, mirroring EXPERIMENTS.md. Simulations fan out across a
@@ -11,7 +11,9 @@
 // at the end (non-zero exit) instead of aborting the whole run. With
 // -journal, the shared cross-experiment sweeps are recorded as they finish,
 // so an interrupted benchmark re-invoked with the same journal resumes
-// instead of recomputing.
+// instead of recomputing. With -checkpoint-dir, individual simulations also
+// snapshot mid-run, so even the cell that was executing at the moment of
+// interruption resumes from its last snapshot rather than from cycle zero.
 package main
 
 import (
@@ -37,6 +39,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
 	journal := flag.String("journal", "", "JSONL run journal: records finished runs and resumes an interrupted benchmark")
+	ckptDir := flag.String("checkpoint-dir", "", "snapshot simulations mid-run into this directory; a re-run resumes interrupted simulations from their last snapshot")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "snapshot cadence in simulated cycles under -checkpoint-dir (0 = default)")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +66,8 @@ func main() {
 	cfg.Samples = *samples
 	cfg.Jobs = *jobs
 	cfg.Timeout = *timeout
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointEvery = *ckptEvery
 	h := bench.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -67,6 +67,9 @@ func main() {
 	baseline := flag.Bool("baseline", false, "also run the no-prefetch baseline and report derived metrics")
 	tracePath := flag.String("trace", "", "replay a recorded trace of the workload instead of walking it live")
 	timeout := flag.Duration("timeout", 0, "abort the simulation after this wall-clock budget (0 = none)")
+	ckptPath := flag.String("checkpoint-path", "", "snapshot the run into this file every -checkpoint-every cycles")
+	ckptEvery := flag.Uint64("checkpoint-every", 65536, "snapshot cadence in simulated cycles (with -checkpoint-path)")
+	resume := flag.String("resume", "", "resume the run from this snapshot file instead of starting at cycle zero")
 	listD := flag.Bool("listdesigns", false, "list design names and exit")
 	listW := flag.Bool("listworkloads", false, "list workload names and exit")
 	flag.Parse()
@@ -109,6 +112,11 @@ func main() {
 		MeasureCycles: *measure,
 		Seed:          *seed,
 		Core:          cc,
+		ResumeFrom:    *resume,
+	}
+	if *ckptPath != "" {
+		rc.CheckpointPath = *ckptPath
+		rc.CheckpointEvery = *ckptEvery
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -142,6 +150,9 @@ func main() {
 	if *baseline && *design != "baseline" {
 		rc.NewDesign = designs["baseline"].nd
 		rc.Core.PrefetchBufferEntries = 0
+		// The snapshot (and any resume point) belongs to the main design's
+		// run; the baseline comparison always runs fresh.
+		rc.CheckpointPath, rc.CheckpointEvery, rc.ResumeFrom = "", 0, ""
 		base := runOne(rc)
 		fmt.Println()
 		fmt.Printf("derived vs baseline (IPC %.3f):\n", base.M.IPC())

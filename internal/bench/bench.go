@@ -42,6 +42,14 @@ type Config struct {
 	// failure is recorded on the harness (Err) and the affected rows read
 	// zero; the remaining experiments continue.
 	Timeout time.Duration
+	// CheckpointDir, when non-empty, snapshots every simulation mid-run into
+	// this directory so an interrupted benchmark resumes partially finished
+	// runs from their last snapshot instead of restarting them (see
+	// runner.Options.CheckpointDir).
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in simulated cycles under
+	// CheckpointDir (0 = runner.DefaultCheckpointEvery).
+	CheckpointEvery uint64
 }
 
 // Quick returns a reduced configuration for fast iteration and the default
@@ -132,8 +140,10 @@ func (h *Harness) run(workload, key string, nd func() prefetch.Design, o runOpts
 	h.mu.Unlock()
 
 	rep, err := runner.Sweep(h.ctx, h.cells(ck, workload, nd, o), runner.Options{
-		Jobs:    h.cfg.Jobs,
-		Timeout: h.cfg.Timeout,
+		Jobs:            h.cfg.Jobs,
+		Timeout:         h.cfg.Timeout,
+		CheckpointDir:   h.cfg.CheckpointDir,
+		CheckpointEvery: h.cfg.CheckpointEvery,
 	})
 	if err == nil {
 		err = rep.FirstErr()
@@ -237,9 +247,11 @@ func (h *Harness) Prewarm(ctx context.Context, journalPath string) error {
 		}
 	}
 	rep, err := runner.Sweep(ctx, cells, runner.Options{
-		Jobs:        h.cfg.Jobs,
-		Timeout:     h.cfg.Timeout,
-		JournalPath: journalPath,
+		Jobs:            h.cfg.Jobs,
+		Timeout:         h.cfg.Timeout,
+		JournalPath:     journalPath,
+		CheckpointDir:   h.cfg.CheckpointDir,
+		CheckpointEvery: h.cfg.CheckpointEvery,
 	})
 	if err != nil {
 		h.fail(fmt.Errorf("bench prewarm: %w", err))

@@ -1,0 +1,184 @@
+package btb
+
+import (
+	"fmt"
+
+	"dnc/internal/checkpoint"
+	"dnc/internal/isa"
+)
+
+// Snapshot serialises the table's full state. The payload codec enc writes
+// one payload value; every BTB organization supplies its own.
+func (t *Table[V]) Snapshot(e *checkpoint.Encoder, enc func(*checkpoint.Encoder, V)) {
+	e.Begin("table")
+	e.Int(t.sets)
+	e.Int(t.ways)
+	e.U64(t.clock)
+	e.U64(t.lookups)
+	e.U64(t.hits)
+	for i := range t.lines {
+		l := &t.lines[i]
+		e.U64(uint64(l.key))
+		e.Bool(l.valid)
+		e.U64(l.lru)
+		enc(e, l.val)
+	}
+	e.End()
+}
+
+// Restore loads state written by Snapshot using the matching payload codec.
+// Table geometry must match.
+func (t *Table[V]) Restore(d *checkpoint.Decoder, dec func(*checkpoint.Decoder) V) error {
+	if err := d.Begin("table"); err != nil {
+		return err
+	}
+	sets, ways := d.Int(), d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if sets != t.sets || ways != t.ways {
+		return fmt.Errorf("%w: BTB table geometry %dx%d in snapshot, machine has %dx%d",
+			checkpoint.ErrCorrupt, sets, ways, t.sets, t.ways)
+	}
+	t.clock = d.U64()
+	t.lookups = d.U64()
+	t.hits = d.U64()
+	for i := range t.lines {
+		l := &t.lines[i]
+		l.key = isa.Addr(d.U64())
+		l.valid = d.Bool()
+		l.lru = d.U64()
+		l.val = dec(d)
+	}
+	return d.End()
+}
+
+// Payload codecs for the BTB organizations.
+
+// EncodeEntry and DecodeEntry codec a conventional BTB payload.
+func EncodeEntry(e *checkpoint.Encoder, v Entry) {
+	e.U8(uint8(v.Kind))
+	e.U64(uint64(v.Target))
+}
+
+// DecodeEntry reverses EncodeEntry.
+func DecodeEntry(d *checkpoint.Decoder) Entry {
+	return Entry{Kind: isa.Kind(d.U8()), Target: isa.Addr(d.U64())}
+}
+
+// EncodeBBEntry and DecodeBBEntry codec a basic-block BTB payload.
+func EncodeBBEntry(e *checkpoint.Encoder, v BBEntry) {
+	e.U16(v.Size)
+	e.U8(uint8(v.Kind))
+	e.U64(uint64(v.BranchPC))
+	e.U64(uint64(v.Target))
+}
+
+// DecodeBBEntry reverses EncodeBBEntry.
+func DecodeBBEntry(d *checkpoint.Decoder) BBEntry {
+	return BBEntry{
+		Size:     d.U16(),
+		Kind:     isa.Kind(d.U8()),
+		BranchPC: isa.Addr(d.U64()),
+		Target:   isa.Addr(d.U64()),
+	}
+}
+
+// EncodeBranches and DecodeBranches codec a pre-decoded branch list (the
+// prefetch buffer payload).
+func EncodeBranches(e *checkpoint.Encoder, brs []isa.Branch) {
+	e.Int(len(brs))
+	for _, br := range brs {
+		e.U8(br.Offset)
+		e.U8(uint8(br.Kind))
+		e.U64(uint64(br.Target))
+	}
+}
+
+// DecodeBranches reverses EncodeBranches.
+func DecodeBranches(d *checkpoint.Decoder) []isa.Branch {
+	n := d.Count(10)
+	if n == 0 {
+		return nil
+	}
+	brs := make([]isa.Branch, 0, n)
+	for i := 0; i < n; i++ {
+		brs = append(brs, isa.Branch{
+			Offset: d.U8(),
+			Kind:   isa.Kind(d.U8()),
+			Target: isa.Addr(d.U64()),
+		})
+	}
+	return brs
+}
+
+func encodeUBBEntry(e *checkpoint.Encoder, v UBBEntry) {
+	EncodeBBEntry(e, v.BB)
+	e.U8(v.CallFP.Bits)
+	e.U8(v.RetFP.Bits)
+	e.Bool(v.HasFP)
+}
+
+func decodeUBBEntry(d *checkpoint.Decoder) UBBEntry {
+	return UBBEntry{
+		BB:     DecodeBBEntry(d),
+		CallFP: Footprint{Bits: d.U8()},
+		RetFP:  Footprint{Bits: d.U8()},
+		HasFP:  d.Bool(),
+	}
+}
+
+// Snapshot serialises the conventional BTB.
+func (b *BTB) Snapshot(e *checkpoint.Encoder) { b.Table.Snapshot(e, EncodeEntry) }
+
+// Restore loads state written by Snapshot.
+func (b *BTB) Restore(d *checkpoint.Decoder) error { return b.Table.Restore(d, DecodeEntry) }
+
+// Snapshot serialises the basic-block BTB.
+func (b *BBBTB) Snapshot(e *checkpoint.Encoder) { b.Table.Snapshot(e, EncodeBBEntry) }
+
+// Restore loads state written by Snapshot.
+func (b *BBBTB) Restore(d *checkpoint.Decoder) error { return b.Table.Restore(d, DecodeBBEntry) }
+
+// Snapshot serialises the prefetch buffer.
+func (p *PrefetchBuffer) Snapshot(e *checkpoint.Encoder) { p.table.Snapshot(e, EncodeBranches) }
+
+// Restore loads state written by Snapshot.
+func (p *PrefetchBuffer) Restore(d *checkpoint.Decoder) error {
+	return p.table.Restore(d, DecodeBranches)
+}
+
+// Snapshot serialises all three Shotgun structures and their footprint
+// accounting.
+func (s *ShotgunBTB) Snapshot(e *checkpoint.Encoder) {
+	e.Begin("shotgunbtb")
+	s.U.Snapshot(e, encodeUBBEntry)
+	s.C.Snapshot(e, EncodeBBEntry)
+	s.RIB.Snapshot(e, EncodeBBEntry)
+	e.U64(s.ULookups)
+	e.U64(s.UFootprintMiss)
+	e.U64(s.UEntryMiss)
+	e.U64(s.PrefilledNoFP)
+	e.End()
+}
+
+// Restore loads state written by Snapshot.
+func (s *ShotgunBTB) Restore(d *checkpoint.Decoder) error {
+	if err := d.Begin("shotgunbtb"); err != nil {
+		return err
+	}
+	if err := s.U.Restore(d, decodeUBBEntry); err != nil {
+		return err
+	}
+	if err := s.C.Restore(d, DecodeBBEntry); err != nil {
+		return err
+	}
+	if err := s.RIB.Restore(d, DecodeBBEntry); err != nil {
+		return err
+	}
+	s.ULookups = d.U64()
+	s.UFootprintMiss = d.U64()
+	s.UEntryMiss = d.U64()
+	s.PrefilledNoFP = d.U64()
+	return d.End()
+}

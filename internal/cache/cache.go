@@ -9,6 +9,7 @@ package cache
 import (
 	"fmt"
 
+	"dnc/internal/checkpoint"
 	"dnc/internal/isa"
 )
 
@@ -158,4 +159,49 @@ func (c *Cache) Reset() {
 		c.lines[i] = Line{}
 	}
 	c.clock = 0
+}
+
+// Snapshot serialises the cache's full state (geometry, LRU clock, every
+// line) for checkpointing.
+func (c *Cache) Snapshot(e *checkpoint.Encoder) {
+	e.Begin("cache")
+	e.Int(c.sets)
+	e.Int(c.ways)
+	e.U64(c.clock)
+	for i := range c.lines {
+		l := &c.lines[i]
+		e.U64(uint64(l.tag))
+		e.Bool(l.valid)
+		e.U64(l.lru)
+		e.U8(l.Flags)
+		e.U8(l.Aux)
+	}
+	e.End()
+}
+
+// Restore loads state written by Snapshot. The snapshot's geometry must
+// match the receiver's: snapshots restore into an identically configured
+// machine, they do not reconfigure it.
+func (c *Cache) Restore(d *checkpoint.Decoder) error {
+	if err := d.Begin("cache"); err != nil {
+		return err
+	}
+	sets, ways := d.Int(), d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if sets != c.sets || ways != c.ways {
+		return fmt.Errorf("%w: cache geometry %dx%d in snapshot, machine has %dx%d",
+			checkpoint.ErrCorrupt, sets, ways, c.sets, c.ways)
+	}
+	c.clock = d.U64()
+	for i := range c.lines {
+		l := &c.lines[i]
+		l.tag = isa.BlockID(d.U64())
+		l.valid = d.Bool()
+		l.lru = d.U64()
+		l.Flags = d.U8()
+		l.Aux = d.U8()
+	}
+	return d.End()
 }

@@ -1,8 +1,10 @@
 package cache
 
 import (
+	"fmt"
 	"sort"
 
+	"dnc/internal/checkpoint"
 	"dnc/internal/isa"
 )
 
@@ -105,3 +107,94 @@ func (f *MSHRFile) Ready(cycle uint64) []*MSHR {
 
 // Reset drops all in-flight entries.
 func (f *MSHRFile) Reset() { clear(f.entries) }
+
+// Snapshot serialises the file's capacity and every in-flight entry, in
+// ascending block order so the encoding is byte-deterministic.
+func (f *MSHRFile) Snapshot(e *checkpoint.Encoder) {
+	e.Begin("mshr")
+	e.Int(f.cap)
+	blocks := make([]isa.BlockID, 0, len(f.entries))
+	for b := range f.entries {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	e.Int(len(blocks))
+	for _, b := range blocks {
+		m := f.entries[b]
+		e.U64(uint64(m.Block))
+		e.U64(m.IssueCycle)
+		e.U64(m.ReadyCycle)
+		e.Bool(m.Prefetch)
+		e.Bool(m.Demanded)
+		e.Bool(m.Buffered)
+	}
+	e.End()
+}
+
+// Restore loads state written by Snapshot.
+func (f *MSHRFile) Restore(d *checkpoint.Decoder) error {
+	if err := d.Begin("mshr"); err != nil {
+		return err
+	}
+	cap := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if cap != f.cap {
+		return fmt.Errorf("%w: MSHR capacity %d in snapshot, machine has %d",
+			checkpoint.ErrCorrupt, cap, f.cap)
+	}
+	n := d.Count(8*3 + 3)
+	clear(f.entries)
+	for i := 0; i < n; i++ {
+		m := &MSHR{
+			Block:      isa.BlockID(d.U64()),
+			IssueCycle: d.U64(),
+			ReadyCycle: d.U64(),
+			Prefetch:   d.Bool(),
+			Demanded:   d.Bool(),
+			Buffered:   d.Bool(),
+		}
+		if d.Err() != nil {
+			break
+		}
+		if _, dup := f.entries[m.Block]; dup {
+			return fmt.Errorf("%w: duplicate MSHR entry for block %#x",
+				checkpoint.ErrCorrupt, uint64(m.Block))
+		}
+		f.entries[m.Block] = m
+	}
+	return d.End()
+}
+
+// Audit checks the file's structural invariants at a tick boundary, where
+// every fill due by now has been applied and freed:
+//
+//   - no entry's ReadyCycle precedes its IssueCycle;
+//   - no entry is overdue (ReadyCycle < cycle): an overdue entry can never
+//     be freed by fill processing again, i.e. it is a leaked slot;
+//   - occupancy does not exceed capacity plus the demand-reservation slack
+//     (AllocDemand deliberately bypasses the capacity check, at most one
+//     outstanding demand per fetch engine, so a generous fixed slack bounds
+//     it without false positives).
+//
+// Each violation is returned as its own error.
+func (f *MSHRFile) Audit(cycle uint64) []error {
+	var errs []error
+	const demandSlack = 64
+	if len(f.entries) > f.cap+demandSlack {
+		errs = append(errs, fmt.Errorf("mshr: %d entries in flight exceeds capacity %d plus demand slack %d",
+			len(f.entries), f.cap, demandSlack))
+	}
+	for _, m := range f.Ready(^uint64(0)) { // all entries, deterministic order
+		if m.ReadyCycle < m.IssueCycle {
+			errs = append(errs, fmt.Errorf("mshr: block %#x ready at %d before its issue at %d",
+				uint64(m.Block), m.ReadyCycle, m.IssueCycle))
+		}
+		if m.ReadyCycle < cycle {
+			errs = append(errs, fmt.Errorf("mshr: block %#x overdue (ready %d < cycle %d): leaked entry",
+				uint64(m.Block), m.ReadyCycle, cycle))
+		}
+	}
+	return errs
+}

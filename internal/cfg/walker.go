@@ -1,8 +1,10 @@
 package cfg
 
 import (
+	"fmt"
 	"math/rand"
 
+	"dnc/internal/checkpoint"
 	"dnc/internal/isa"
 )
 
@@ -34,6 +36,8 @@ type Stream interface {
 // samples and the 16 cores running the same server workload.
 type Walker struct {
 	prog  *Program
+	seed  int64
+	src   *countingSource
 	rng   *rand.Rand
 	cur   int32 // current block index
 	idx   int   // next instruction within the block
@@ -43,12 +47,32 @@ type Walker struct {
 	dataColdBase isa.Addr
 }
 
+// countingSource wraps the walker's PRNG source and counts draws. The
+// stock math/rand generator does not expose its internal state, so the
+// checkpoint subsystem snapshots a walker's randomness as (seed, draw
+// count) and restores it by re-seeding and discarding that many draws —
+// bit-exact, because every Int63/Uint64 call advances the underlying
+// generator by exactly one step.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 { c.draws++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.draws++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed); c.draws = 0 }
+
 // NewWalker returns a walker over prog seeded with seed, positioned at the
 // entry of a dispatcher-chosen function.
 func NewWalker(prog *Program, seed int64) *Walker {
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
 	w := &Walker{
 		prog:         prog,
-		rng:          rand.New(rand.NewSource(seed)),
+		seed:         seed,
+		src:          src,
+		rng:          rand.New(src),
 		dataHotBase:  0x2_0000_0000,
 		dataColdBase: 0x3_0000_0000,
 		stack:        make([]int32, 0, 64),
@@ -179,3 +203,58 @@ func (w *Walker) dataAddr() isa.Addr {
 
 // CallDepth returns the current simulated call-stack depth.
 func (w *Walker) CallDepth() int { return len(w.stack) }
+
+// Snapshot serialises the walker's position and randomness. The PRNG is
+// captured as (seed, draw count); see countingSource.
+func (w *Walker) Snapshot(e *checkpoint.Encoder) {
+	e.Begin("walker")
+	e.I64(w.seed)
+	e.U64(w.src.draws)
+	e.I64(int64(w.cur))
+	e.Int(w.idx)
+	e.Int(len(w.stack))
+	for _, bb := range w.stack {
+		e.I64(int64(bb))
+	}
+	e.End()
+}
+
+// Restore loads state written by Snapshot, re-seeding the PRNG and
+// replaying its draw count so the restored stream continues bit-exactly.
+// The walker must have been built over the same program with the same seed.
+func (w *Walker) Restore(d *checkpoint.Decoder) error {
+	if err := d.Begin("walker"); err != nil {
+		return err
+	}
+	seed := d.I64()
+	if d.Err() == nil && seed != w.seed {
+		return fmt.Errorf("%w: walker seed %d in snapshot, machine has %d",
+			checkpoint.ErrCorrupt, seed, w.seed)
+	}
+	draws := d.U64()
+	cur := int32(d.I64())
+	idx := d.Int()
+	if d.Err() == nil {
+		if cur < 0 || int(cur) >= len(w.prog.Blocks) {
+			return fmt.Errorf("%w: walker block index %d out of range", checkpoint.ErrCorrupt, cur)
+		}
+		if idx < 0 || idx >= len(w.prog.Blocks[cur].Insts) {
+			return fmt.Errorf("%w: walker instruction index %d out of range", checkpoint.ErrCorrupt, idx)
+		}
+	}
+	n := d.Count(8)
+	stack := w.stack[:0]
+	for i := 0; i < n; i++ {
+		stack = append(stack, int32(d.I64()))
+	}
+	if err := d.End(); err != nil {
+		return err
+	}
+	w.src.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		w.src.src.Uint64()
+	}
+	w.src.draws = draws
+	w.cur, w.idx, w.stack = cur, idx, stack
+	return nil
+}

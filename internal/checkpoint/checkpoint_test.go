@@ -1,0 +1,213 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Begin("outer")
+	e.U8(0xAB)
+	e.U16(0xBEEF)
+	e.U32(0xDEADBEEF)
+	e.U64(1 << 60)
+	e.I64(-17)
+	e.Int(42)
+	e.Bool(true)
+	e.Bool(false)
+	e.Bytes([]byte{1, 2, 3})
+	e.String("hello")
+	e.Begin("inner")
+	e.U64(7)
+	e.End()
+	e.End()
+
+	d, err := Decode(e.Marshal())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := d.Begin("outer"); err != nil {
+		t.Fatalf("Begin(outer): %v", err)
+	}
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := d.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -17 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Int(); got != 42 {
+		t.Errorf("Int = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("Bool round-trip failed")
+	}
+	if got := d.Bytes(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if err := d.Begin("inner"); err != nil {
+		t.Fatalf("Begin(inner): %v", err)
+	}
+	if got := d.U64(); got != 7 {
+		t.Errorf("inner U64 = %d", got)
+	}
+	if err := d.End(); err != nil {
+		t.Fatalf("End(inner): %v", err)
+	}
+	if err := d.End(); err != nil {
+		t.Fatalf("End(outer): %v", err)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+}
+
+func TestStructRoundTrip(t *testing.T) {
+	type flat struct {
+		A uint64
+		B int32
+		C [2]uint8
+	}
+	in := flat{A: 9, B: -3, C: [2]uint8{7, 8}}
+	e := NewEncoder()
+	e.Struct(&in)
+	d, err := Decode(e.Marshal())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	var out flat
+	if err := d.Struct(&out); err != nil {
+		t.Fatalf("Struct: %v", err)
+	}
+	if out != in {
+		t.Errorf("Struct round-trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestFramingErrors(t *testing.T) {
+	e := NewEncoder()
+	e.U64(1234)
+	good := e.Marshal()
+
+	if _, err := Decode(good[:5]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short input: err = %v, want ErrTruncated", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[4] = 0xFF // version
+	if _, err := Decode(bad); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: err = %v, want ErrVersion", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[7] ^= 0x01 // payload byte
+	if _, err := Decode(bad); !errors.Is(err, ErrChecksum) {
+		t.Errorf("flipped payload bit: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecoderSticky(t *testing.T) {
+	e := NewEncoder()
+	e.U8(1)
+	d, err := Decode(e.Marshal())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	_ = d.U8()
+	_ = d.U64() // truncated: only 1 byte of payload
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", d.Err())
+	}
+	if got := d.U32(); got != 0 {
+		t.Errorf("read after error = %d, want 0", got)
+	}
+}
+
+func TestSectionMisuse(t *testing.T) {
+	e := NewEncoder()
+	e.Begin("s")
+	e.U64(1)
+	e.U64(2)
+	e.End()
+	d, err := Decode(e.Marshal())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := d.Begin("wrong"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong tag: err = %v, want ErrCorrupt", err)
+	}
+
+	d, _ = Decode(e.Marshal())
+	if err := d.Begin("s"); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	_ = d.U64() // consume only half the section
+	if err := d.End(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short consumption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCountGuardsAllocation(t *testing.T) {
+	e := NewEncoder()
+	e.Int(1 << 40) // absurd count with no elements behind it
+	d, err := Decode(e.Marshal())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n := d.Count(8); n != 0 {
+		t.Errorf("Count = %d, want 0", n)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Errorf("Err = %v, want ErrCorrupt", d.Err())
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.ckpt")
+	e := NewEncoder()
+	e.Begin("root")
+	e.U64(99)
+	e.End()
+	if err := WriteFile(path, e); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after WriteFile, want 1", len(entries))
+	}
+	d, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := d.Begin("root"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.U64(); got != 99 {
+		t.Errorf("payload = %d, want 99", got)
+	}
+	if err := d.End(); err != nil {
+		t.Fatal(err)
+	}
+}

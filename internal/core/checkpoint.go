@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dnc/internal/cache"
+	wl "dnc/internal/cfg"
+	"dnc/internal/checkpoint"
+	"dnc/internal/isa"
+)
+
+// Snapshot serialises the core's full architectural and timing state: the
+// predictors, both L1s, the MSHR file, the prefetch buffer, fetch state, the
+// ROB ring, the metric counters, and the attached design. Snapshots are
+// taken between Tick calls, so the per-cycle bookkeeping fields (delivered,
+// transitions, cycleStall) are ephemeral and excluded.
+func (c *Core) Snapshot(e *checkpoint.Encoder) {
+	e.Begin("core")
+	c.tage.Snapshot(e)
+	c.ras.Snapshot(e)
+	c.l1i.Snapshot(e)
+	c.l1d.Snapshot(e)
+	c.mshr.Snapshot(e)
+
+	e.Bool(c.pfb != nil)
+	if c.pfb != nil {
+		e.Int(len(c.pfbOrder))
+		for _, b := range c.pfbOrder {
+			e.U64(uint64(b))
+			e.U64(c.pfb[b])
+		}
+	}
+
+	snapshotBlockMap(e, c.prefLat, func(lat uint64) { e.U64(lat) })
+
+	e.Bool(c.bfCache != nil)
+	if c.bfCache != nil {
+		snapshotBlockMap(e, c.bfCache, func(bf isa.BF) { e.U32(bf.Pack()) })
+	}
+
+	e.U64(c.cycle)
+	encodeStep(e, &c.step)
+	e.Bool(c.haveStep)
+	e.U64(uint64(c.last2[0]))
+	e.U64(uint64(c.last2[1]))
+	e.U64(uint64(c.curBlock))
+	e.Bool(c.haveCur)
+	e.Bool(c.gateDone)
+	e.Bool(c.waiting)
+	e.U64(uint64(c.waitBlk))
+	e.U64(c.stallUntil)
+	e.Bool(c.stallBTB)
+
+	e.Int(len(c.rob))
+	e.Int(c.robHead)
+	e.Int(c.robCount)
+	for i := 0; i < c.robCount; i++ {
+		en := &c.rob[(c.robHead+i)%len(c.rob)]
+		e.U64(en.complete)
+		e.U64(uint64(en.inst.PC))
+		e.U8(en.inst.Size)
+		e.U8(uint8(en.inst.Kind))
+		e.U64(uint64(en.inst.Target))
+		e.Bool(en.taken)
+		e.U64(uint64(en.target))
+	}
+
+	e.Bool(c.startup)
+	e.U64(c.totalRetired)
+	e.U64(c.totalDelivered)
+	e.Struct(&c.M)
+	c.design.Snapshot(e)
+	e.End()
+}
+
+// Restore loads state written by Snapshot into an identically configured
+// core (same design, geometry, and workload binding).
+func (c *Core) Restore(d *checkpoint.Decoder) error {
+	if err := d.Begin("core"); err != nil {
+		return err
+	}
+	if err := c.tage.Restore(d); err != nil {
+		return err
+	}
+	if err := c.ras.Restore(d); err != nil {
+		return err
+	}
+	if err := c.l1i.Restore(d); err != nil {
+		return err
+	}
+	if err := c.l1d.Restore(d); err != nil {
+		return err
+	}
+	if err := c.mshr.Restore(d); err != nil {
+		return err
+	}
+
+	hasPFB := d.Bool()
+	if d.Err() == nil && hasPFB != (c.pfb != nil) {
+		return fmt.Errorf("%w: snapshot prefetch-buffer presence %v, machine has %v",
+			checkpoint.ErrCorrupt, hasPFB, c.pfb != nil)
+	}
+	if hasPFB {
+		n := d.Count(16)
+		if d.Err() == nil && n > c.cf.PrefetchBufferEntries {
+			return fmt.Errorf("%w: prefetch buffer holds %d blocks over capacity %d",
+				checkpoint.ErrCorrupt, n, c.cf.PrefetchBufferEntries)
+		}
+		clear(c.pfb)
+		c.pfbOrder = c.pfbOrder[:0]
+		for i := 0; i < n; i++ {
+			b := isa.BlockID(d.U64())
+			c.pfb[b] = d.U64()
+			c.pfbOrder = append(c.pfbOrder, b)
+		}
+	}
+
+	if err := restoreBlockMap(d, c.prefLat, func() uint64 { return d.U64() }); err != nil {
+		return err
+	}
+
+	hasBF := d.Bool()
+	if d.Err() == nil && hasBF != (c.bfCache != nil) {
+		return fmt.Errorf("%w: snapshot footprint-cache presence %v, machine has %v",
+			checkpoint.ErrCorrupt, hasBF, c.bfCache != nil)
+	}
+	if hasBF {
+		if err := restoreBlockMap(d, c.bfCache, func() isa.BF { return isa.UnpackBF(d.U32()) }); err != nil {
+			return err
+		}
+	}
+
+	c.cycle = d.U64()
+	decodeStep(d, &c.step)
+	c.haveStep = d.Bool()
+	c.last2[0] = isa.Addr(d.U64())
+	c.last2[1] = isa.Addr(d.U64())
+	c.curBlock = isa.BlockID(d.U64())
+	c.haveCur = d.Bool()
+	c.gateDone = d.Bool()
+	c.waiting = d.Bool()
+	c.waitBlk = isa.BlockID(d.U64())
+	c.stallUntil = d.U64()
+	c.stallBTB = d.Bool()
+
+	robLen := d.Int()
+	if d.Err() == nil && robLen != len(c.rob) {
+		return fmt.Errorf("%w: ROB has %d entries in snapshot, machine has %d",
+			checkpoint.ErrCorrupt, robLen, len(c.rob))
+	}
+	head, count := d.Int(), d.Int()
+	if d.Err() == nil && (head < 0 || head >= robLen || count < 0 || count > robLen) {
+		return fmt.Errorf("%w: ROB ring position head=%d count=%d out of range",
+			checkpoint.ErrCorrupt, head, count)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	c.robHead, c.robCount = head, count
+	for i := range c.rob {
+		c.rob[i] = robEntry{}
+	}
+	for i := 0; i < count; i++ {
+		en := &c.rob[(head+i)%robLen]
+		en.complete = d.U64()
+		en.inst.PC = isa.Addr(d.U64())
+		en.inst.Size = d.U8()
+		en.inst.Kind = isa.Kind(d.U8())
+		en.inst.Target = isa.Addr(d.U64())
+		en.taken = d.Bool()
+		en.target = isa.Addr(d.U64())
+	}
+
+	c.startup = d.Bool()
+	c.totalRetired = d.U64()
+	c.totalDelivered = d.U64()
+	if err := d.Struct(&c.M); err != nil {
+		return err
+	}
+	if err := c.design.Restore(d); err != nil {
+		return err
+	}
+	return d.End()
+}
+
+func encodeStep(e *checkpoint.Encoder, s *wl.Step) {
+	e.U64(uint64(s.Inst.PC))
+	e.U8(s.Inst.Size)
+	e.U8(uint8(s.Inst.Kind))
+	e.U64(uint64(s.Inst.Target))
+	e.Bool(s.Taken)
+	e.U64(uint64(s.NextPC))
+	e.U64(uint64(s.TargetPC))
+	e.U64(uint64(s.DataAddr))
+}
+
+func decodeStep(d *checkpoint.Decoder, s *wl.Step) {
+	s.Inst.PC = isa.Addr(d.U64())
+	s.Inst.Size = d.U8()
+	s.Inst.Kind = isa.Kind(d.U8())
+	s.Inst.Target = isa.Addr(d.U64())
+	s.Taken = d.Bool()
+	s.NextPC = isa.Addr(d.U64())
+	s.TargetPC = isa.Addr(d.U64())
+	s.DataAddr = isa.Addr(d.U64())
+}
+
+// snapshotBlockMap writes a block-keyed map in ascending key order.
+func snapshotBlockMap[V any](e *checkpoint.Encoder, m map[isa.BlockID]V, enc func(V)) {
+	keys := make([]isa.BlockID, 0, len(m))
+	for b := range m {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.Int(len(keys))
+	for _, b := range keys {
+		e.U64(uint64(b))
+		enc(m[b])
+	}
+}
+
+func restoreBlockMap[V any](d *checkpoint.Decoder, m map[isa.BlockID]V, dec func() V) error {
+	n := d.Count(9)
+	clear(m)
+	for i := 0; i < n; i++ {
+		b := isa.BlockID(d.U64())
+		m[b] = dec()
+	}
+	return d.Err()
+}
+
+// Audit checks the core's structural invariants at a tick boundary. Each
+// violation is returned as its own error:
+//
+//   - ROB conservation: every delivered instruction is either retired or
+//     still occupies a ROB slot (totalDelivered - totalRetired == robCount),
+//     and the ring position is within bounds;
+//   - the prefetch buffer's FIFO order and map agree, occupancy is within
+//     capacity, and no buffered block is simultaneously resident in the L1i;
+//   - every remembered prefetch-fill latency belongs to a resident,
+//     still-flagged L1i line;
+//   - MSHR invariants (occupancy, no leaked entries), plus exclusivity: an
+//     in-flight miss must not already be resident in the L1i.
+func (c *Core) Audit() []error {
+	var errs []error
+
+	if got := c.totalDelivered - c.totalRetired; got != uint64(c.robCount) {
+		errs = append(errs, fmt.Errorf("core %d: ROB conservation broken: delivered %d - retired %d = %d in flight, ROB holds %d",
+			c.cf.Tile, c.totalDelivered, c.totalRetired, got, c.robCount))
+	}
+	if c.robHead < 0 || c.robHead >= len(c.rob) || c.robCount < 0 || c.robCount > len(c.rob) {
+		errs = append(errs, fmt.Errorf("core %d: ROB ring position head=%d count=%d out of range (capacity %d)",
+			c.cf.Tile, c.robHead, c.robCount, len(c.rob)))
+	}
+
+	if c.pfb != nil {
+		if len(c.pfb) != len(c.pfbOrder) {
+			errs = append(errs, fmt.Errorf("core %d: prefetch buffer map holds %d blocks but FIFO order lists %d",
+				c.cf.Tile, len(c.pfb), len(c.pfbOrder)))
+		}
+		if len(c.pfbOrder) > c.cf.PrefetchBufferEntries {
+			errs = append(errs, fmt.Errorf("core %d: prefetch buffer holds %d blocks over capacity %d",
+				c.cf.Tile, len(c.pfbOrder), c.cf.PrefetchBufferEntries))
+		}
+		for _, b := range c.pfbOrder {
+			if _, ok := c.pfb[b]; !ok {
+				errs = append(errs, fmt.Errorf("core %d: prefetch buffer FIFO lists block %#x missing from the map",
+					c.cf.Tile, uint64(b)))
+			}
+			if c.l1i.Contains(b) {
+				errs = append(errs, fmt.Errorf("core %d: block %#x resident in both prefetch buffer and L1i",
+					c.cf.Tile, uint64(b)))
+			}
+		}
+	}
+
+	prefBlocks := make([]isa.BlockID, 0, len(c.prefLat))
+	for b := range c.prefLat {
+		prefBlocks = append(prefBlocks, b)
+	}
+	sort.Slice(prefBlocks, func(i, j int) bool { return prefBlocks[i] < prefBlocks[j] })
+	for _, b := range prefBlocks {
+		line := c.l1i.Line(b)
+		switch {
+		case line == nil:
+			errs = append(errs, fmt.Errorf("core %d: prefetch latency remembered for block %#x not resident in L1i",
+				c.cf.Tile, uint64(b)))
+		case line.Flags&cache.FlagPrefetched == 0:
+			errs = append(errs, fmt.Errorf("core %d: prefetch latency remembered for block %#x whose prefetched flag was consumed",
+				c.cf.Tile, uint64(b)))
+		}
+	}
+
+	errs = append(errs, c.mshr.Audit(c.cycle)...)
+	for _, m := range c.mshr.Ready(^uint64(0)) {
+		if c.l1i.Contains(m.Block) {
+			errs = append(errs, fmt.Errorf("core %d: block %#x both resident in L1i and in flight in an MSHR",
+				c.cf.Tile, uint64(m.Block)))
+		}
+	}
+
+	if aud, ok := c.design.(interface{ Audit() []error }); ok {
+		errs = append(errs, aud.Audit()...)
+	}
+	return errs
+}

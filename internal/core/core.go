@@ -146,6 +146,9 @@ type Core struct {
 	// totalRetired counts retirements monotonically across metric resets
 	// (the watchdog's progress counter; see Progress).
 	totalRetired uint64
+	// totalDelivered counts ROB insertions monotonically; together with
+	// totalRetired it closes the ROB conservation equation checked by Audit.
+	totalDelivered uint64
 
 	// M collects measurement-window metrics.
 	M Metrics
@@ -184,6 +187,10 @@ func (c *Core) Design() prefetch.Design { return c.design }
 
 // L1I exposes the instruction cache (harness hooks).
 func (c *Core) L1I() *cache.Cache { return c.l1i }
+
+// MSHRs exposes the L1i miss-status holding registers (harness hooks and
+// fault-injection tests).
+func (c *Core) MSHRs() *cache.MSHRFile { return c.mshr }
 
 // ResetMetrics zeroes the measurement counters (end of warm-up).
 func (c *Core) ResetMetrics() { c.M = Metrics{} }
@@ -564,6 +571,7 @@ func (c *Core) deliver() {
 	tail := (c.robHead + c.robCount) % len(c.rob)
 	c.rob[tail] = robEntry{complete: complete, inst: inst, taken: c.step.Taken, target: c.step.TargetPC}
 	c.robCount++
+	c.totalDelivered++
 	c.delivered++
 	c.startup = false
 

@@ -17,7 +17,7 @@ type DiagSnapshot struct {
 	Waiting   bool
 	WaitBlock isa.BlockID
 	// StallUntil is the end cycle of an active redirect bubble.
-	StallUntil uint64
+	StallUntil        uint64
 	ROBUsed, ROBCap   int
 	MSHRUsed, MSHRCap int
 }

@@ -1,0 +1,141 @@
+package llc
+
+import (
+	"fmt"
+
+	"dnc/internal/checkpoint"
+	"dnc/internal/isa"
+)
+
+// Snapshot serialises the LLC's full state: clock, stats, bank occupancy
+// windows, and every set's lines, BF-holder pin, and stored footprints.
+func (c *LLC) Snapshot(e *checkpoint.Encoder) {
+	e.Begin("llc")
+	e.Int(c.banks)
+	e.Int(c.setsPer)
+	e.Int(c.cfg.Ways)
+	e.U64(c.clock)
+	e.U64(c.queueSum)
+	e.Struct(&c.stats)
+	for i := range c.bankOcc {
+		e.U64(c.bankOcc[i].window)
+		e.U64(c.bankOcc[i].busy)
+	}
+	for i := range c.sets {
+		s := &c.sets[i]
+		for j := range s.lines {
+			l := &s.lines[j]
+			e.U64(uint64(l.block))
+			e.Bool(l.valid)
+			e.U64(l.lru)
+			e.Bool(l.isInst)
+		}
+		e.Int(s.bfWay)
+		e.Int(len(s.bfs))
+		for _, bf := range s.bfs {
+			e.U64(uint64(bf.block))
+			e.U32(bf.bf.Pack())
+		}
+	}
+	e.End()
+}
+
+// Restore loads state written by Snapshot. Geometry must match.
+func (c *LLC) Restore(d *checkpoint.Decoder) error {
+	if err := d.Begin("llc"); err != nil {
+		return err
+	}
+	banks, setsPer, ways := d.Int(), d.Int(), d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if banks != c.banks || setsPer != c.setsPer || ways != c.cfg.Ways {
+		return fmt.Errorf("%w: LLC geometry %d banks x %d sets x %d ways in snapshot, machine has %dx%dx%d",
+			checkpoint.ErrCorrupt, banks, setsPer, ways, c.banks, c.setsPer, c.cfg.Ways)
+	}
+	c.clock = d.U64()
+	c.queueSum = d.U64()
+	if err := d.Struct(&c.stats); err != nil {
+		return err
+	}
+	for i := range c.bankOcc {
+		c.bankOcc[i].window = d.U64()
+		c.bankOcc[i].busy = d.U64()
+	}
+	for i := range c.sets {
+		s := &c.sets[i]
+		for j := range s.lines {
+			l := &s.lines[j]
+			l.block = isa.BlockID(d.U64())
+			l.valid = d.Bool()
+			l.lru = d.U64()
+			l.isInst = d.Bool()
+		}
+		s.bfWay = d.Int()
+		if d.Err() == nil && (s.bfWay < -1 || s.bfWay >= ways) {
+			return fmt.Errorf("%w: set %d BF-holder way %d out of range",
+				checkpoint.ErrCorrupt, i, s.bfWay)
+		}
+		n := d.Count(12)
+		s.bfs = s.bfs[:0]
+		for k := 0; k < n; k++ {
+			s.bfs = append(s.bfs, bfEntry{
+				block: isa.BlockID(d.U64()),
+				bf:    isa.UnpackBF(d.U32()),
+			})
+		}
+	}
+	return d.End()
+}
+
+// Audit checks the DV-LLC structural invariants:
+//
+//   - a pinned BF-holder way index is within the set's ways;
+//   - a set never stores more footprints than BFsPerSet or Ways-1 (the
+//     holder way cannot hold a footprint for itself);
+//   - every stored footprint describes a block resident in its own set —
+//     eviction must drop the footprint with the block;
+//   - a set holding footprints (or pinning a holder) has at least one valid
+//     instruction line, since the last departing instruction block releases
+//     the holder.
+//
+// Each violation is returned as its own error.
+func (c *LLC) Audit() []error {
+	var errs []error
+	for i := range c.sets {
+		s := &c.sets[i]
+		if s.bfWay >= len(s.lines) || s.bfWay < -1 {
+			errs = append(errs, fmt.Errorf("llc: set %d BF-holder way %d out of range [0,%d)",
+				i, s.bfWay, len(s.lines)))
+			continue
+		}
+		if s.bfWay < 0 {
+			if len(s.bfs) != 0 {
+				errs = append(errs, fmt.Errorf("llc: set %d stores %d footprints with no BF-holder way",
+					i, len(s.bfs)))
+			}
+			continue
+		}
+		if len(s.bfs) > c.cfg.BFsPerSet || len(s.bfs) > c.cfg.Ways-1 {
+			errs = append(errs, fmt.Errorf("llc: set %d stores %d footprints, cap is min(%d, ways-1=%d)",
+				i, len(s.bfs), c.cfg.BFsPerSet, c.cfg.Ways-1))
+		}
+		hasInst := false
+		for j := range s.lines {
+			if s.lines[j].valid && s.lines[j].isInst {
+				hasInst = true
+				break
+			}
+		}
+		if !hasInst {
+			errs = append(errs, fmt.Errorf("llc: set %d pins a BF-holder with no resident instruction block", i))
+		}
+		for _, bf := range s.bfs {
+			if l := s.find(bf.block); l == nil {
+				errs = append(errs, fmt.Errorf("llc: set %d stores a footprint for block %#x that is not resident",
+					i, uint64(bf.block)))
+			}
+		}
+	}
+	return errs
+}

@@ -11,6 +11,7 @@ package prefetch
 
 import (
 	"dnc/internal/cache"
+	"dnc/internal/checkpoint"
 	"dnc/internal/isa"
 )
 
@@ -102,6 +103,14 @@ type Design interface {
 	// StorageBits returns the design's per-core metadata storage budget in
 	// bits (Table II).
 	StorageBits() int
+
+	// Snapshot serialises the design's mutable state (BTB organization,
+	// prefetcher metadata, queues, walk state) for checkpointing.
+	Snapshot(e *checkpoint.Encoder)
+
+	// Restore loads state written by Snapshot into an identically
+	// configured design.
+	Restore(d *checkpoint.Decoder) error
 }
 
 // Base provides no-op defaults for Design hooks; concrete designs embed it.
@@ -138,3 +147,19 @@ func (*Base) Tick() {}
 
 // StorageBits implements Design.
 func (*Base) StorageBits() int { return 0 }
+
+// Snapshot implements Design for stateless designs: an empty tagged
+// section, so the snapshot layout stays aligned for designs that have
+// nothing to save. Stateful designs must override both methods.
+func (*Base) Snapshot(e *checkpoint.Encoder) {
+	e.Begin("design-stateless")
+	e.End()
+}
+
+// Restore implements Design for stateless designs.
+func (*Base) Restore(d *checkpoint.Decoder) error {
+	if err := d.Begin("design-stateless"); err != nil {
+		return err
+	}
+	return d.End()
+}

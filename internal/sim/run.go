@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 
 	wl "dnc/internal/cfg"
+	"dnc/internal/checkpoint"
 	"dnc/internal/core"
 	"dnc/internal/isa"
 	"dnc/internal/llc"
@@ -98,6 +99,9 @@ func (rc RunConfig) Validate() error {
 	if s := w.LoadFrac + w.StoreFrac; s > 1 {
 		return fmt.Errorf("sim: workload %q: memory op fractions sum to %v > 1", w.Name, s)
 	}
+	if rc.CheckpointEvery > 0 && rc.CheckpointPath == "" {
+		return errors.New("sim: CheckpointEvery set without CheckpointPath")
+	}
 	return nil
 }
 
@@ -137,10 +141,10 @@ type Snapshot struct {
 	// Shared-fabric activity since the last stats reset: requests injected
 	// into the NoC and DRAM, and cumulative cycles spent queued behind busy
 	// links / exhausted memory bandwidth.
-	NoCPackets  uint64
-	NoCQueued   uint64
-	DRAMAccess  uint64
-	DRAMQueued  uint64
+	NoCPackets uint64
+	NoCQueued  uint64
+	DRAMAccess uint64
+	DRAMQueued uint64
 }
 
 // String renders the snapshot compactly for logs.
@@ -204,71 +208,189 @@ func runChecked(ctx context.Context, rc RunConfig, mk streamMaker) (res Result, 
 		}
 	}()
 
-	prog := Program(rc.Workload)
-	uncore := core.NewUncore(rc.LLC)
-	if !rc.NoPreload {
-		uncore.Preload(prog.Image)
+	m, merr := buildMachine(rc, mk)
+	if merr != nil {
+		return Result{}, &RunError{Config: rc, Err: merr}
 	}
+	defer m.close()
 
-	cores := make([]*core.Core, rc.Cores)
-	designs := make([]prefetch.Design, rc.Cores)
-	var closers []func()
-	defer func() {
-		for _, c := range closers {
-			c()
+	if rc.ResumeFrom != "" {
+		if rerr := m.restoreFrom(rc.ResumeFrom); rerr != nil {
+			return Result{}, &RunError{Config: rc, Err: rerr}
 		}
-	}()
-	for i := range cores {
+	}
+	if aerr := m.run(ctx); aerr != nil {
+		return Result{}, &RunError{Config: rc, Err: aerr}
+	}
+	return m.result(), nil
+}
+
+// machine is one fully assembled simulation: the generated program, the
+// per-tile cores with their design instances and instruction streams, the
+// shared uncore, and the run's window/watchdog position. It is the unit of
+// checkpointing: everything mutable hangs off this struct.
+type machine struct {
+	rc      RunConfig
+	prog    *wl.Program
+	uncore  *core.Uncore
+	cores   []*core.Core
+	designs []prefetch.Design
+	// walkers mirrors cores when the run is walker-driven; trace-driven
+	// runs leave it nil (and cannot checkpoint, see ErrTraceCheckpoint).
+	walkers []*wl.Walker
+	watch   *watchdog
+	closers []func()
+
+	// phase is the current window (0 = warm-up, 1 = measurement) and done
+	// the cycles completed within it; together with the watchdog counters
+	// they locate a snapshot inside the run.
+	phase    uint8
+	done     uint64
+	lastCkpt uint64
+}
+
+func buildMachine(rc RunConfig, mk streamMaker) (*machine, error) {
+	if mk != nil && (rc.CheckpointEvery > 0 || rc.ResumeFrom != "") {
+		return nil, ErrTraceCheckpoint
+	}
+	m := &machine{rc: rc, prog: Program(rc.Workload)}
+	m.uncore = core.NewUncore(rc.LLC)
+	if !rc.NoPreload {
+		m.uncore.Preload(m.prog.Image)
+	}
+	m.cores = make([]*core.Core, rc.Cores)
+	m.designs = make([]prefetch.Design, rc.Cores)
+	if mk == nil {
+		m.walkers = make([]*wl.Walker, rc.Cores)
+	}
+	for i := range m.cores {
 		cc := rc.Core
 		cc.Tile = i
 		var stream wl.Stream
 		if mk == nil {
-			stream = wl.NewWalker(prog, rc.Seed*1000+int64(i)+1)
+			w := wl.NewWalker(m.prog, rc.Seed*1000+int64(i)+1)
+			m.walkers[i] = w
+			stream = w
 		} else {
-			s, closer, serr := mk(i, prog)
+			s, closer, serr := mk(i, m.prog)
 			if serr != nil {
-				return Result{}, &RunError{Config: rc, Err: serr}
+				m.close()
+				return nil, serr
 			}
 			if closer != nil {
-				closers = append(closers, closer)
+				m.closers = append(m.closers, closer)
 			}
 			stream = s
 		}
 		d := rc.NewDesign()
-		designs[i] = d
-		cores[i] = core.New(cc, stream, prog.Image, d, uncore)
+		m.designs[i] = d
+		m.cores[i] = core.New(cc, stream, m.prog.Image, d, m.uncore)
 	}
+	m.watch = newWatchdog(rc, m.cores, m.uncore)
+	return m, nil
+}
 
-	watch := newWatchdog(rc, cores, uncore)
-	if aerr := tickWindow(ctx, rc.WarmCycles, cores, watch); aerr != nil {
-		return Result{}, &RunError{Config: rc, Err: aerr}
+func (m *machine) close() {
+	for _, c := range m.closers {
+		c()
 	}
-	for _, c := range cores {
-		c.ResetMetrics()
-	}
-	uncore.LLC.ResetStats()
-	uncore.Mesh.ResetStats()
-	uncore.DRAM.ResetStats()
-	if aerr := tickWindow(ctx, rc.MeasureCycles, cores, watch); aerr != nil {
-		return Result{}, &RunError{Config: rc, Err: aerr}
-	}
+}
 
-	res = Result{
-		Workload:    rc.Workload.Name,
-		Design:      designs[0].Name(),
-		PerCore:     make([]core.Metrics, rc.Cores),
-		LLCStats:    uncore.LLC.Stats(),
-		NoCFlits:    uncore.Mesh.Flits(),
-		NoCQueued:   uncore.Mesh.QueuedCycles(),
-		DRAMQueued:  uncore.DRAM.QueuedCycles(),
-		StorageBits: designs[0].StorageBits(),
-		Designs:     designs,
+// run executes the remaining windows (all of them on a fresh machine; the
+// tail of the interrupted window after a restore) and audits the final state.
+func (m *machine) run(ctx context.Context) error {
+	if m.phase == 0 {
+		if err := m.runPhase(ctx, m.rc.WarmCycles); err != nil {
+			return err
+		}
+		for _, c := range m.cores {
+			c.ResetMetrics()
+		}
+		m.uncore.LLC.ResetStats()
+		m.uncore.Mesh.ResetStats()
+		m.uncore.DRAM.ResetStats()
+		m.phase = 1
+		m.done = 0
 	}
-	for i, c := range cores {
+	if err := m.runPhase(ctx, m.rc.MeasureCycles); err != nil {
+		return err
+	}
+	// Drain audit: every run ends with an invariant sweep, so structural
+	// corruption surfaces even when checkpointing is off.
+	return m.auditNow()
+}
+
+// runPhase advances all cores until the current window holds total cycles,
+// polling the context, the watchdog, and the checkpoint cadence every
+// checkEvery cycles.
+func (m *machine) runPhase(ctx context.Context, total uint64) error {
+	for m.done < total {
+		for _, c := range m.cores {
+			c.Tick()
+		}
+		m.watch.cycle++
+		m.done++
+		if m.watch.cycle%checkEvery == 0 {
+			if ctx != nil {
+				select {
+				case <-ctx.Done():
+					return fmt.Errorf("run aborted at cycle %d: %w", m.watch.cycle, ctx.Err())
+				default:
+				}
+			}
+			if err := m.watch.check(); err != nil {
+				return m.dumpLivelock(err)
+			}
+			if m.rc.CheckpointEvery > 0 && m.watch.cycle-m.lastCkpt >= m.rc.CheckpointEvery {
+				if err := m.checkpoint(); err != nil {
+					return err
+				}
+				m.lastCkpt = m.watch.cycle
+			}
+		}
+	}
+	return nil
+}
+
+// dumpLivelock writes a post-mortem snapshot next to the configured
+// checkpoint file so a stuck run can be audited and inspected offline.
+func (m *machine) dumpLivelock(lerr error) error {
+	if m.rc.CheckpointPath == "" {
+		return lerr
+	}
+	if werr := checkpoint.WriteFile(m.rc.CheckpointPath+".livelock", m.encode()); werr != nil {
+		return errors.Join(lerr, fmt.Errorf("sim: livelock snapshot dump failed: %w", werr))
+	}
+	return lerr
+}
+
+// checkpoint audits the machine and atomically persists a snapshot. An audit
+// violation aborts the run instead of persisting a structurally corrupt
+// snapshot.
+func (m *machine) checkpoint() error {
+	if err := m.auditNow(); err != nil {
+		return err
+	}
+	return checkpoint.WriteFile(m.rc.CheckpointPath, m.encode())
+}
+
+func (m *machine) result() Result {
+	res := Result{
+		Workload:    m.rc.Workload.Name,
+		Design:      m.designs[0].Name(),
+		PerCore:     make([]core.Metrics, m.rc.Cores),
+		LLCStats:    m.uncore.LLC.Stats(),
+		NoCFlits:    m.uncore.Mesh.Flits(),
+		NoCQueued:   m.uncore.Mesh.QueuedCycles(),
+		DRAMQueued:  m.uncore.DRAM.QueuedCycles(),
+		StorageBits: m.designs[0].StorageBits(),
+		Designs:     m.designs,
+	}
+	for i, c := range m.cores {
 		res.PerCore[i] = c.M
 		res.M.Add(&c.M)
 	}
-	return res, nil
+	return res
 }
 
 // watchdog tracks aggregate retirement across windows; it persists across
@@ -324,28 +446,4 @@ func (w *watchdog) snapshot() Snapshot {
 		s.Cores[i] = c.Diag()
 	}
 	return s
-}
-
-// tickWindow advances all cores n cycles, polling the context and the
-// watchdog every checkEvery cycles.
-func tickWindow(ctx context.Context, n uint64, cores []*core.Core, w *watchdog) error {
-	for t := uint64(0); t < n; t++ {
-		for _, c := range cores {
-			c.Tick()
-		}
-		w.cycle++
-		if w.cycle%checkEvery == 0 {
-			if ctx != nil {
-				select {
-				case <-ctx.Done():
-					return fmt.Errorf("run aborted at cycle %d: %w", w.cycle, ctx.Err())
-				default:
-				}
-			}
-			if err := w.check(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }

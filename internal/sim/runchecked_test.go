@@ -15,10 +15,10 @@ import (
 // retires, and the livelock watchdog must fire.
 type stuckDesign struct{ prefetch.Base }
 
-func (*stuckDesign) Name() string                                    { return "stuck" }
-func (*stuckDesign) BTBLookup(isa.Addr, isa.Kind) (isa.Addr, bool)   { return 0, false }
-func (*stuckDesign) BTBCommit(isa.Addr, isa.Kind, isa.Addr, bool)    {}
-func (*stuckDesign) FTQGate(isa.Addr) bool                           { return false }
+func (*stuckDesign) Name() string                                  { return "stuck" }
+func (*stuckDesign) BTBLookup(isa.Addr, isa.Kind) (isa.Addr, bool) { return 0, false }
+func (*stuckDesign) BTBCommit(isa.Addr, isa.Kind, isa.Addr, bool)  {}
+func (*stuckDesign) FTQGate(isa.Addr) bool                         { return false }
 
 func newStuck() prefetch.Design { return &stuckDesign{} }
 

@@ -1,0 +1,178 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnc/internal/sim"
+)
+
+// makeInterruptedSnapshot runs the cell's configuration standalone with
+// checkpointing on and kills it as soon as the first snapshot lands,
+// simulating a sweep process that died mid-cell.
+func makeInterruptedSnapshot(t *testing.T, cfg sim.RunConfig, path string) {
+	t.Helper()
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 4096
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		for {
+			if _, err := os.Stat(path); err == nil {
+				cancel()
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+	if _, err := sim.RunChecked(ctx, cfg); err == nil {
+		t.Log("interruption lost the race; cell completed on its own")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no snapshot produced: %v", err)
+	}
+}
+
+// TestSweepResumesFromCellSnapshot is the crash-resumable-sweep property: a
+// cell whose previous process died mid-run (leaving a snapshot but no
+// journal entry) finishes from the snapshot and produces the same result as
+// an uninterrupted run, then cleans its snapshot up.
+func TestSweepResumesFromCellSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(0, newBaseline)
+	cfg.WarmCycles = 20_000
+	cfg.MeasureCycles = 20_000
+	cell := Cell{ID: "wl0|baseline|s1", Config: cfg}
+
+	want := sim.Run(cfg)
+
+	ckpt := cellCheckpointPath(dir, cell.ID)
+	makeInterruptedSnapshot(t, cfg, ckpt)
+
+	rep, err := Sweep(context.Background(), []Cell{cell}, Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Cells[0]
+	if got.Status != StatusOK {
+		t.Fatalf("cell failed: %v", got.Err)
+	}
+	if got.Result.M != want.M {
+		t.Error("resumed cell diverged from uninterrupted run")
+	}
+	if _, serr := os.Stat(ckpt); !os.IsNotExist(serr) {
+		t.Error("snapshot not cleaned up after successful completion")
+	}
+}
+
+// TestSweepDiscardsUnusableSnapshot: a truncated or garbage snapshot (e.g.
+// from a crash mid-write before the atomic rename, or a stale format) must
+// not wedge the cell — it is discarded and the cell restarts fresh.
+func TestSweepDiscardsUnusableSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(1, newBaseline)
+	cell := Cell{ID: "wl1|baseline|s1", Config: cfg}
+
+	ckpt := cellCheckpointPath(dir, cell.ID)
+	if err := os.WriteFile(ckpt, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Sweep(context.Background(), []Cell{cell}, Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Cells[0]
+	if got.Status != StatusOK {
+		t.Fatalf("cell failed on a corrupt snapshot: %v", got.Err)
+	}
+	if got.Attempts != 1 {
+		t.Errorf("snapshot discard consumed a retry (attempts=%d)", got.Attempts)
+	}
+	want := sim.Run(cfg)
+	if got.Result.M != want.M {
+		t.Error("fresh rerun after snapshot discard diverged from direct run")
+	}
+}
+
+// TestSweepSnapshotMismatchedConfig: a snapshot from an older sweep whose
+// cell ID collides but whose configuration changed (here: a different seed)
+// must be rejected by the header check and the cell rerun fresh.
+func TestSweepSnapshotMismatchedConfig(t *testing.T) {
+	dir := t.TempDir()
+	oldCfg := testConfig(2, newBaseline)
+	oldCfg.WarmCycles = 20_000
+	oldCfg.MeasureCycles = 20_000
+
+	newCfg := oldCfg
+	newCfg.Seed = 99
+	cell := Cell{ID: "wl2|baseline", Config: newCfg}
+
+	ckpt := cellCheckpointPath(dir, cell.ID)
+	makeInterruptedSnapshot(t, oldCfg, ckpt)
+
+	rep, err := Sweep(context.Background(), []Cell{cell}, Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Cells[0]
+	if got.Status != StatusOK {
+		t.Fatalf("cell failed: %v", got.Err)
+	}
+	want := sim.Run(newCfg)
+	if got.Result.M != want.M {
+		t.Error("cell restored a snapshot from a different configuration")
+	}
+}
+
+// TestSweepJournalSyncEvery checks that batched fsync still journals every
+// cell and that a follow-up sweep resumes them all.
+func TestSweepJournalSyncEvery(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	cells := make([]Cell, 4)
+	for i := range cells {
+		cells[i] = Cell{ID: fmt.Sprintf("c%d", i), Config: testConfig(i, newBaseline)}
+	}
+	rep, err := Sweep(context.Background(), cells, Options{
+		Jobs:        2,
+		JournalPath: journal,
+		SyncEvery:   64, // larger than the sweep: only the final sync runs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != len(cells) {
+		t.Fatalf("ok = %d, want %d", rep.OK, len(cells))
+	}
+	rep2, err := Sweep(context.Background(), cells, Options{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != len(cells) {
+		t.Fatalf("batched-sync journal lost cells: resumed %d of %d", rep2.Resumed, len(cells))
+	}
+}
+
+// TestJournalSurfacesWriteErrors: a journal that can no longer be written
+// (file closed underneath, disk gone) must report the failure through Err
+// instead of silently losing the record — Sweep folds this into its return.
+func TestJournalSurfacesWriteErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := openJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.f.Close() // simulate the descriptor dying underneath the journal
+	j.append(CellResult{ID: "c0", Status: StatusOK})
+	if j.Err() == nil {
+		t.Fatal("write onto a dead journal reported no error")
+	}
+	j.f = nil // already closed; keep close() from double-closing
+}

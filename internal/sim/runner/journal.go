@@ -3,6 +3,7 @@ package runner
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -68,18 +69,28 @@ func (jr *journalResult) toResult() sim.Result {
 }
 
 // journal is the append-only run record. Reads happen once at open; appends
-// are serialized by the sweep's result mutex.
+// are serialized by the sweep's result mutex. Write and sync failures are
+// collected (not dropped): a journal that silently loses records would
+// defeat resumption, so Sweep surfaces Err to its caller.
 type journal struct {
 	f    *os.File
 	done map[string]sim.Result // cells journaled "ok" by a previous sweep
+	// syncEvery batches fsyncs: the file is synced after every syncEvery
+	// appends (1 = after each) and once more at close.
+	syncEvery int
+	pending   int
+	errs      []error
 }
 
 // openJournal loads completed cells from an existing journal (if any) and
 // opens it for appending. A corrupt trailing line — e.g. from a process
 // killed mid-write — is skipped rather than fatal: the cell it described
 // simply re-runs.
-func openJournal(path string) (*journal, error) {
-	j := &journal{done: make(map[string]sim.Result)}
+func openJournal(path string, syncEvery int) (*journal, error) {
+	if syncEvery <= 0 {
+		syncEvery = 1
+	}
+	j := &journal{done: make(map[string]sim.Result), syncEvery: syncEvery}
 	if f, err := os.Open(path); err == nil {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
@@ -130,9 +141,9 @@ func (j *journal) completed(id string) (sim.Result, bool) {
 	return r, ok
 }
 
-// append writes one finished cell as a single JSONL line and syncs it so a
-// kill -9 right after loses at most the in-flight cells, never a recorded
-// one. Caller must serialize.
+// append writes one finished cell as a single JSONL line and syncs it on
+// the configured cadence, so a kill -9 loses at most the in-flight cells
+// plus the unsynced tail, never a synced record. Caller must serialize.
 func (j *journal) append(res CellResult) {
 	e := journalEntry{
 		ID:        res.ID,
@@ -148,14 +159,46 @@ func (j *journal) append(res CellResult) {
 	}
 	line, err := json.Marshal(e)
 	if err != nil {
-		return // a result that cannot marshal is simply not journaled
+		j.errs = append(j.errs, fmt.Errorf("runner: journalling cell %s: %w", res.ID, err))
+		return
 	}
-	j.f.Write(append(line, '\n'))
-	j.f.Sync()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		j.errs = append(j.errs, fmt.Errorf("runner: journal write for cell %s: %w", res.ID, err))
+		return
+	}
+	j.pending++
+	if j.pending >= j.syncEvery {
+		j.sync()
+	}
 }
 
-func (j *journal) close() {
-	if j != nil && j.f != nil {
-		j.f.Close()
+// sync flushes pending appends to stable storage.
+func (j *journal) sync() {
+	if err := j.f.Sync(); err != nil {
+		j.errs = append(j.errs, fmt.Errorf("runner: journal sync: %w", err))
 	}
+	j.pending = 0
+}
+
+// Err returns every write/sync failure the journal accumulated. Safe on a
+// nil journal.
+func (j *journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	return errors.Join(j.errs...)
+}
+
+// close flushes the unsynced tail and closes the file, recording failures.
+func (j *journal) close() {
+	if j == nil || j.f == nil {
+		return
+	}
+	if j.pending > 0 {
+		j.sync()
+	}
+	if err := j.f.Close(); err != nil {
+		j.errs = append(j.errs, fmt.Errorf("runner: journal close: %w", err))
+	}
+	j.f = nil
 }

@@ -11,10 +11,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"dnc/internal/checkpoint"
 	"dnc/internal/sim"
 )
 
@@ -70,6 +74,21 @@ type Options struct {
 	// the file already holds completed cells from an earlier sweep, skips
 	// re-executing them ("" = no journal).
 	JournalPath string
+	// SyncEvery batches journal fsyncs: the file is synced to stable
+	// storage after every SyncEvery appended cells (0 or 1 = after each)
+	// and once more when the sweep finishes. Larger values trade crash
+	// durability of the journal tail for fewer fsyncs on large sweeps.
+	SyncEvery int
+	// CheckpointDir, when non-empty, gives every walker-driven cell a
+	// mid-run snapshot file in this directory (created if missing). A cell
+	// interrupted before it could be journaled — crash, timeout, kill —
+	// resumes from its last snapshot on the next sweep instead of starting
+	// over; the snapshot is deleted when the cell completes. Trace-replay
+	// cells cannot checkpoint and run unchanged.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in simulated cycles for cells
+	// running under CheckpointDir (0 = DefaultCheckpointEvery).
+	CheckpointEvery uint64
 	// Transient reports whether an error is worth retrying. Defaults to
 	// timeouts only: in a deterministic simulator a panic or livelock
 	// reproduces on every attempt, but a timeout may just mean the machine
@@ -112,6 +131,43 @@ func defaultTransient(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded)
 }
 
+// DefaultCheckpointEvery is the snapshot cadence used for cells running
+// under Options.CheckpointDir when Options.CheckpointEvery is zero. At the
+// paper's 200K+200K cycle windows this persists roughly six snapshots per
+// cell — frequent enough that an interrupted sweep loses little work,
+// coarse enough that snapshot I/O stays invisible next to simulation time.
+const DefaultCheckpointEvery = 1 << 16
+
+// cellCheckpointPath maps a cell ID to its snapshot file: a sanitized,
+// length-bounded prefix for readability plus an FNV-1a hash of the full ID
+// for uniqueness (IDs routinely exceed filename limits and contain
+// separators).
+func cellCheckpointPath(dir, id string) string {
+	sane := make([]byte, 0, 48)
+	for i := 0; i < len(id) && len(sane) < 48; i++ {
+		switch c := id[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			sane = append(sane, c)
+		default:
+			sane = append(sane, '_')
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return filepath.Join(dir, fmt.Sprintf("%s-%016x.ckpt", sane, h.Sum64()))
+}
+
+// snapshotUnusable reports a resume failure caused by the snapshot itself
+// (truncated, corrupt, wrong version or checksum, config mismatch) rather
+// than by the run: the snapshot is discarded and the cell restarts fresh.
+func snapshotUnusable(err error) bool {
+	return errors.Is(err, checkpoint.ErrTruncated) ||
+		errors.Is(err, checkpoint.ErrCorrupt) ||
+		errors.Is(err, checkpoint.ErrVersion) ||
+		errors.Is(err, checkpoint.ErrChecksum)
+}
+
 // Sweep executes the cells through a bounded worker pool and returns a
 // report with one entry per cell. A failing cell never aborts the sweep:
 // its error is recorded and the remaining cells continue. Sweep itself
@@ -137,10 +193,15 @@ func Sweep(ctx context.Context, cells []Cell, o Options) (*Report, error) {
 	var jr *journal
 	if o.JournalPath != "" {
 		var err error
-		if jr, err = openJournal(o.JournalPath); err != nil {
+		if jr, err = openJournal(o.JournalPath, o.SyncEvery); err != nil {
 			return nil, err
 		}
-		defer jr.close()
+	}
+	if o.CheckpointDir != "" {
+		if err := os.MkdirAll(o.CheckpointDir, 0o755); err != nil {
+			jr.close()
+			return nil, fmt.Errorf("runner: creating checkpoint dir: %w", err)
+		}
 	}
 
 	jobs := o.Jobs
@@ -198,15 +259,27 @@ func Sweep(ctx context.Context, cells []Cell, o Options) (*Report, error) {
 			rep.Failed++
 		}
 	}
-	return rep, ctx.Err()
+	jr.close()
+	return rep, errors.Join(ctx.Err(), jr.Err())
 }
 
 // runCell executes one cell with per-attempt timeouts and transient-error
-// retries.
+// retries. Cells under Options.CheckpointDir snapshot mid-run and resume
+// from a surviving snapshot — whether left by a crashed earlier sweep or by
+// this cell's own timed-out previous attempt.
 func runCell(ctx context.Context, c Cell, o Options) CellResult {
 	transient := o.Transient
 	if transient == nil {
 		transient = defaultTransient
+	}
+	ckpt := ""
+	if o.CheckpointDir != "" && c.TracePath == "" {
+		ckpt = cellCheckpointPath(o.CheckpointDir, c.ID)
+		c.Config.CheckpointPath = ckpt
+		c.Config.CheckpointEvery = o.CheckpointEvery
+		if c.Config.CheckpointEvery == 0 {
+			c.Config.CheckpointEvery = DefaultCheckpointEvery
+		}
 	}
 	start := time.Now()
 	out := CellResult{ID: c.ID, Status: StatusFailed}
@@ -215,6 +288,12 @@ func runCell(ctx context.Context, c Cell, o Options) CellResult {
 		if err := ctx.Err(); err != nil {
 			out.Err = err
 			break
+		}
+		cfg := c.Config
+		if ckpt != "" {
+			if _, serr := os.Stat(ckpt); serr == nil {
+				cfg.ResumeFrom = ckpt
+			}
 		}
 		rctx := ctx
 		var cancel context.CancelFunc
@@ -228,7 +307,7 @@ func runCell(ctx context.Context, c Cell, o Options) CellResult {
 		if c.TracePath != "" {
 			r, err = sim.RunTraceChecked(rctx, c.Config, c.TracePath)
 		} else {
-			r, err = sim.RunChecked(rctx, c.Config)
+			r, err = sim.RunChecked(rctx, cfg)
 		}
 		if cancel != nil {
 			cancel()
@@ -236,7 +315,19 @@ func runCell(ctx context.Context, c Cell, o Options) CellResult {
 		if err == nil {
 			out.Status = StatusOK
 			out.Result = r
+			if ckpt != "" {
+				os.Remove(ckpt)
+				os.Remove(ckpt + ".livelock")
+			}
 			break
+		}
+		if cfg.ResumeFrom != "" && snapshotUnusable(err) {
+			// The snapshot, not the run, is bad (truncated by a crash,
+			// stale configuration). Discard it and redo the attempt from
+			// scratch; this can fire at most once per attempt number.
+			os.Remove(ckpt)
+			attempt--
+			continue
 		}
 		out.Err = err
 		if attempt > o.Retries || !transient(err) {

@@ -39,6 +39,23 @@ type RunConfig struct {
 	// many consecutive cycles. 0 selects DefaultWatchdogCycles; negative
 	// disables the watchdog.
 	WatchdogCycles int64
+	// CheckpointEvery, when nonzero, snapshots the full machine state to
+	// CheckpointPath at least every given number of cycles (aligned to the
+	// engine's poll cadence). The structural invariant auditor runs before
+	// every snapshot; a violation aborts the run instead of persisting a
+	// corrupt snapshot. Only walker-driven runs can checkpoint (see
+	// ErrTraceCheckpoint).
+	CheckpointEvery uint64
+	// CheckpointPath is the snapshot file. Writes are atomic (temp file +
+	// rename), so the file always holds the last complete snapshot. The
+	// livelock watchdog additionally dumps a post-mortem snapshot to
+	// CheckpointPath + ".livelock" when it aborts a run.
+	CheckpointPath string
+	// ResumeFrom, when set, restores the machine from the given snapshot
+	// file before running, continuing the interrupted window bit-exactly.
+	// The snapshot must have been taken from an identical configuration
+	// (workload, design, seed, core count, window lengths).
+	ResumeFrom string
 }
 
 // Result is the outcome of one simulation run.
