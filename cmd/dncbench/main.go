@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"dnc/internal/bench"
+	"dnc/internal/sim/runner"
 )
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 	journal := flag.String("journal", "", "JSONL run journal: records finished runs and resumes an interrupted benchmark")
 	ckptDir := flag.String("checkpoint-dir", "", "snapshot simulations mid-run into this directory; a re-run resumes interrupted simulations from their last snapshot")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "snapshot cadence in simulated cycles under -checkpoint-dir (0 = default)")
+	progress := flag.Bool("progress", true, "print a periodic one-line sweep summary (cells done/failed/retried, rate, ETA) to stderr")
+	httpAddr := flag.String("http", "", "serve live sweep progress, expvar-style counters, and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *list {
@@ -68,6 +71,21 @@ func main() {
 	cfg.Timeout = *timeout
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
+	if *progress {
+		cfg.ProgressOut = os.Stderr
+	}
+	if *httpAddr != "" {
+		if cfg.Progress == nil {
+			cfg.Progress = runner.NewProgress()
+		}
+		srv, err := runner.StartDebug(*httpAddr, cfg.Progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dncbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dncbench: debug endpoint on http://%s/debug/sweep\n", srv.Addr)
+	}
 	h := bench.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

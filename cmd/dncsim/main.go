@@ -21,6 +21,7 @@ import (
 
 	"dnc/internal/core"
 	"dnc/internal/isa"
+	"dnc/internal/obs"
 	"dnc/internal/prefetch"
 	"dnc/internal/sim"
 	"dnc/internal/workloads"
@@ -70,6 +71,9 @@ func main() {
 	ckptPath := flag.String("checkpoint-path", "", "snapshot the run into this file every -checkpoint-every cycles")
 	ckptEvery := flag.Uint64("checkpoint-every", 65536, "snapshot cadence in simulated cycles (with -checkpoint-path)")
 	resume := flag.String("resume", "", "resume the run from this snapshot file instead of starting at cycle zero")
+	obsOn := flag.Bool("obs", false, "enable the observability layer: latency/occupancy histograms and stall attribution summaries")
+	traceOut := flag.String("trace-out", "", "export the measurement window's event trace as Chrome trace_event JSON (load in ui.perfetto.dev); implies -obs")
+	traceEvents := flag.Int("trace-events", 1<<16, "event tracer ring capacity with -trace-out (keeps the trailing events)")
 	listD := flag.Bool("listdesigns", false, "list design names and exit")
 	listW := flag.Bool("listworkloads", false, "list workload names and exit")
 	flag.Parse()
@@ -118,6 +122,13 @@ func main() {
 		rc.CheckpointPath = *ckptPath
 		rc.CheckpointEvery = *ckptEvery
 	}
+	if *obsOn || *traceOut != "" {
+		oc := &obs.Config{}
+		if *traceOut != "" {
+			oc.TraceEvents = *traceEvents
+		}
+		rc.Obs = oc
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	runOne := func(rc sim.RunConfig) sim.Result {
@@ -146,13 +157,25 @@ func main() {
 	}
 	r := runOne(rc)
 	report(r)
+	reportObs(r)
+	if *traceOut != "" && r.Obs != nil {
+		meta := obs.TraceMeta{Workload: r.Workload, Design: r.Design, Cores: len(r.PerCore)}
+		if err := obs.WritePerfettoFile(*traceOut, r.Obs.Events, meta); err != nil {
+			fmt.Fprintf(os.Stderr, "dncsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d events written to %s (%d emitted, %d dropped by the ring)\n",
+			len(r.Obs.Events), *traceOut, r.Obs.TraceTotal, r.Obs.TraceDropped)
+	}
 
 	if *baseline && *design != "baseline" {
 		rc.NewDesign = designs["baseline"].nd
 		rc.Core.PrefetchBufferEntries = 0
 		// The snapshot (and any resume point) belongs to the main design's
-		// run; the baseline comparison always runs fresh.
+		// run; the baseline comparison always runs fresh. The comparison is
+		// also uninstrumented: derived metrics need no histograms.
 		rc.CheckpointPath, rc.CheckpointEvery, rc.ResumeFrom = "", 0, ""
+		rc.Obs = nil
 		base := runOne(rc)
 		fmt.Println()
 		fmt.Printf("derived vs baseline (IPC %.3f):\n", base.M.IPC())
@@ -183,4 +206,31 @@ func report(r sim.Result) {
 		100*float64(m.StallBTB)/total, 100*float64(m.StallMispred)/total,
 		100*float64(m.StallBackend)/total)
 	fmt.Printf("  design storage     %.1f KB\n", float64(r.StorageBits)/8/1024)
+}
+
+// reportObs renders the observability snapshot: the per-cause cycle
+// partition (which sums to 100% by the conservation invariant) and the
+// latency/occupancy histogram summaries.
+func reportObs(r sim.Result) {
+	if r.Obs == nil {
+		return
+	}
+	m := &r.M
+	fmt.Println("\ncycle attribution (all cores, conservation-checked):")
+	for cause, cycles := range m.StallBreakdown() {
+		if cycles == 0 {
+			continue
+		}
+		fmt.Printf("  %-20s %6.2f%%  (%d cycles)\n",
+			obs.StallCause(cause), 100*float64(cycles)/float64(m.Cycles), cycles)
+	}
+	fmt.Println("histograms:")
+	for _, h := range r.Obs.Hists {
+		fmt.Printf("  %s\n", h)
+	}
+	for _, c := range r.Obs.Counters {
+		if c.Value > 0 {
+			fmt.Printf("  %s=%d\n", c.Name, c.Value)
+		}
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -50,6 +51,13 @@ type Config struct {
 	// CheckpointEvery is the snapshot cadence in simulated cycles under
 	// CheckpointDir (0 = runner.DefaultCheckpointEvery).
 	CheckpointEvery uint64
+	// ProgressOut, when non-nil, receives a throttled one-line sweep summary
+	// (cells done/failed/retried, rate, ETA) roughly every two seconds —
+	// dncbench points it at stderr so long runs are visibly alive.
+	ProgressOut io.Writer
+	// Progress, when set, tracks every sweep the harness runs (live source
+	// for runner.StartDebug). New allocates one when ProgressOut is set.
+	Progress *runner.Progress
 }
 
 // Quick returns a reduced configuration for fast iteration and the default
@@ -75,17 +83,47 @@ type Harness struct {
 	mu    sync.Mutex
 	cache map[string]sim.Result
 	errs  []error
+	// lastPrint throttles the ProgressOut summary line (guarded by mu).
+	lastPrint time.Time
 }
 
 // New returns a harness for the configuration.
 func New(cfg Config) *Harness {
 	if cfg.Cores == 0 {
-		cfg = Quick()
+		c := Quick()
+		c.ProgressOut, c.Progress = cfg.ProgressOut, cfg.Progress
+		cfg = c
 	}
 	if len(cfg.Workloads) == 0 {
 		cfg.Workloads = workloads.Names
 	}
+	if cfg.ProgressOut != nil && cfg.Progress == nil {
+		cfg.Progress = runner.NewProgress()
+	}
 	return &Harness{cfg: cfg, ctx: context.Background(), cache: make(map[string]sim.Result)}
+}
+
+// progressInterval is how often the ProgressOut summary line refreshes.
+const progressInterval = 2 * time.Second
+
+// onResult returns the sweep observer feeding ProgressOut, or nil when
+// progress reporting is off. Sweep serializes OnResult calls, but several
+// harness sweeps may run concurrently, so the throttle takes the mutex.
+func (h *Harness) onResult() func(runner.CellResult) {
+	if h.cfg.ProgressOut == nil {
+		return nil
+	}
+	return func(runner.CellResult) {
+		h.mu.Lock()
+		due := time.Since(h.lastPrint) >= progressInterval
+		if due {
+			h.lastPrint = time.Now()
+		}
+		h.mu.Unlock()
+		if due {
+			fmt.Fprintf(h.cfg.ProgressOut, "bench: %s\n", h.cfg.Progress.Snapshot())
+		}
+	}
 }
 
 // SetContext installs a context that cancels the harness's in-flight
@@ -144,6 +182,8 @@ func (h *Harness) run(workload, key string, nd func() prefetch.Design, o runOpts
 		Timeout:         h.cfg.Timeout,
 		CheckpointDir:   h.cfg.CheckpointDir,
 		CheckpointEvery: h.cfg.CheckpointEvery,
+		Progress:        h.cfg.Progress,
+		OnResult:        h.onResult(),
 	})
 	if err == nil {
 		err = rep.FirstErr()
@@ -252,6 +292,8 @@ func (h *Harness) Prewarm(ctx context.Context, journalPath string) error {
 		JournalPath:     journalPath,
 		CheckpointDir:   h.cfg.CheckpointDir,
 		CheckpointEvery: h.cfg.CheckpointEvery,
+		Progress:        h.cfg.Progress,
+		OnResult:        h.onResult(),
 	})
 	if err != nil {
 		h.fail(fmt.Errorf("bench prewarm: %w", err))

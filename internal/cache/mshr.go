@@ -33,6 +33,9 @@ func (m *MSHR) Latency() uint64 { return m.ReadyCycle - m.IssueCycle }
 type MSHRFile struct {
 	cap     int
 	entries map[isa.BlockID]*MSHR
+	// highWater is the peak occupancy since the last ResetHighWater; a
+	// diagnostic (not architectural state, not checkpointed).
+	highWater int
 }
 
 // NewMSHRFile returns a file with the given capacity.
@@ -66,6 +69,9 @@ func (f *MSHRFile) Alloc(b isa.BlockID, issue, ready uint64, prefetch bool) *MSH
 	}
 	m := &MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready, Prefetch: prefetch}
 	f.entries[b] = m
+	if len(f.entries) > f.highWater {
+		f.highWater = len(f.entries)
+	}
 	return m
 }
 
@@ -78,8 +84,17 @@ func (f *MSHRFile) AllocDemand(b isa.BlockID, issue, ready uint64) *MSHR {
 	}
 	m := &MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready}
 	f.entries[b] = m
+	if len(f.entries) > f.highWater {
+		f.highWater = len(f.entries)
+	}
 	return m
 }
+
+// HighWater returns the peak occupancy since the last ResetHighWater.
+func (f *MSHRFile) HighWater() int { return f.highWater }
+
+// ResetHighWater restarts peak-occupancy tracking (window boundary).
+func (f *MSHRFile) ResetHighWater() { f.highWater = len(f.entries) }
 
 // Free releases the entry for b (at fill time).
 func (f *MSHRFile) Free(b isa.BlockID) { delete(f.entries, b) }

@@ -14,7 +14,8 @@ import (
 // predictors, both L1s, the MSHR file, the prefetch buffer, fetch state, the
 // ROB ring, the metric counters, and the attached design. Snapshots are
 // taken between Tick calls, so the per-cycle bookkeeping fields (delivered,
-// transitions, cycleStall) are ephemeral and excluded.
+// transitions, cycleCause) are ephemeral and excluded, as are the
+// observability hooks — diagnostics, not architectural state.
 func (c *Core) Snapshot(e *checkpoint.Encoder) {
 	e.Begin("core")
 	c.tage.Snapshot(e)
@@ -236,6 +237,9 @@ func restoreBlockMap[V any](d *checkpoint.Decoder, m map[isa.BlockID]V, dec func
 //   - ROB conservation: every delivered instruction is either retired or
 //     still occupies a ROB slot (totalDelivered - totalRetired == robCount),
 //     and the ring position is within bounds;
+//   - stall-attribution conservation: every measured cycle is either busy
+//     (delivered at least one instruction) or charged to exactly one stall
+//     cause (BusyCycles + StallCycles == Cycles);
 //   - the prefetch buffer's FIFO order and map agree, occupancy is within
 //     capacity, and no buffered block is simultaneously resident in the L1i;
 //   - every remembered prefetch-fill latency belongs to a resident,
@@ -252,6 +256,11 @@ func (c *Core) Audit() []error {
 	if c.robHead < 0 || c.robHead >= len(c.rob) || c.robCount < 0 || c.robCount > len(c.rob) {
 		errs = append(errs, fmt.Errorf("core %d: ROB ring position head=%d count=%d out of range (capacity %d)",
 			c.cf.Tile, c.robHead, c.robCount, len(c.rob)))
+	}
+
+	if got := c.M.BusyCycles + c.M.StallCycles(); got != c.M.Cycles {
+		errs = append(errs, fmt.Errorf("core %d: stall attribution broken: busy %d + stalled %d = %d cycles, measured %d",
+			c.cf.Tile, c.M.BusyCycles, c.M.StallCycles(), got, c.M.Cycles))
 	}
 
 	if c.pfb != nil {

@@ -16,6 +16,7 @@ import (
 	"dnc/internal/cache"
 	wl "dnc/internal/cfg"
 	"dnc/internal/isa"
+	"dnc/internal/obs"
 	"dnc/internal/prefetch"
 )
 
@@ -138,10 +139,16 @@ type Core struct {
 
 	// Per-cycle bookkeeping.
 	delivered   int
-	transitions int     // demand block transitions this cycle (one L1i port)
-	cycleStall  *uint64 // which stall counter to charge if nothing delivered
+	transitions int            // demand block transitions this cycle (one L1i port)
+	cycleCause  obs.StallCause // what to charge if nothing delivered this cycle
 
 	startup bool // before first delivery
+
+	// Observability hooks (nil when disabled) and the coalesced stall-run
+	// tracer state; see obs.go.
+	hooks   ObsHooks
+	trCause obs.StallCause
+	trStart uint64
 
 	// totalRetired counts retirements monotonically across metric resets
 	// (the watchdog's progress counter; see Progress).
@@ -192,8 +199,13 @@ func (c *Core) L1I() *cache.Cache { return c.l1i }
 // fault-injection tests).
 func (c *Core) MSHRs() *cache.MSHRFile { return c.mshr }
 
-// ResetMetrics zeroes the measurement counters (end of warm-up).
-func (c *Core) ResetMetrics() { c.M = Metrics{} }
+// ResetMetrics zeroes the measurement counters (end of warm-up) and restarts
+// the stall-run tracer so exported spans never straddle the window boundary.
+func (c *Core) ResetMetrics() {
+	c.M = Metrics{}
+	c.trCause = obs.StallNone
+	c.trStart = c.cycle
+}
 
 // ---- prefetch.Env implementation ----
 
@@ -227,7 +239,13 @@ func (c *Core) IssuePrefetch(b isa.BlockID, buffered bool) bool {
 	if c.cf.PerfectL1i {
 		return false
 	}
-	if c.l1i.Contains(b) || c.mshr.Full() {
+	if c.l1i.Contains(b) {
+		return false
+	}
+	if c.mshr.Full() {
+		// A viable prefetch lost to MSHR pressure — the drop the tracer
+		// distinguishes from the benign already-present filters above.
+		c.emit(obs.EvPrefetchDrop, uint64(b), 0)
 		return false
 	}
 	if _, ok := c.mshr.Lookup(b); ok {
@@ -249,10 +267,12 @@ func (c *Core) IssuePrefetch(b isa.BlockID, buffered bool) bool {
 	c.M.LLCLatencyCnt++
 	m := c.mshr.Alloc(b, c.cycle, ready, true)
 	if m == nil {
+		c.emit(obs.EvPrefetchDrop, uint64(b), 0)
 		return false
 	}
 	m.Buffered = buffered
 	c.M.PrefetchesIssued++
+	c.emit(obs.EvPrefetchIssue, uint64(b), ready-c.cycle)
 	return true
 }
 
@@ -297,18 +317,25 @@ func (c *Core) Tick() {
 
 	c.delivered = 0
 	c.transitions = 0
-	c.cycleStall = nil
+	c.cycleCause = obs.StallNone
 	for i := 0; i < c.cf.FetchWidth; i++ {
 		if !c.fetchOne() {
 			break
 		}
 	}
 	if c.delivered == 0 {
-		switch {
-		case c.cycleStall != nil:
-			*c.cycleStall++
-		case c.startup:
-			c.M.StallStartup++
+		cause := c.cycleCause
+		if cause == obs.StallNone && c.startup {
+			cause = obs.StallStartup
+		}
+		c.M.chargeStall(cause)
+		if c.hooks.Tracer != nil {
+			c.traceStall(cause)
+		}
+	} else {
+		c.M.BusyCycles++
+		if c.hooks.Tracer != nil {
+			c.traceStall(obs.StallNone)
 		}
 	}
 	c.M.DeliveredSlots += uint64(c.delivered)
@@ -323,6 +350,13 @@ func (c *Core) processFills() {
 	for _, m := range c.mshr.Ready(c.cycle) {
 		c.mshr.Free(m.Block)
 		isPrefetch := m.Prefetch && !m.Demanded
+		if isPrefetch {
+			c.hooks.PrefetchLat.Observe(m.Latency())
+			c.emit(obs.EvPrefetchFill, uint64(m.Block), m.Latency())
+		} else {
+			c.hooks.DemandLat.Observe(m.Latency())
+			c.emit(obs.EvDemandFill, uint64(m.Block), m.Latency())
+		}
 		if isPrefetch && m.Buffered && c.pfb != nil {
 			c.pfbInsert(m.Block, m.Latency())
 		} else {
@@ -418,14 +452,14 @@ func (c *Core) robFull() bool { return c.robCount == len(c.rob) }
 // must stop for this cycle.
 func (c *Core) fetchOne() bool {
 	if c.robFull() {
-		c.cycleStall = &c.M.StallBackend
+		c.cycleCause = obs.StallBackend
 		return false
 	}
 	if c.cycle < c.stallUntil {
 		if c.stallBTB {
-			c.cycleStall = &c.M.StallBTB
+			c.cycleCause = obs.StallBTB
 		} else {
-			c.cycleStall = &c.M.StallMispred
+			c.cycleCause = obs.StallMispred
 		}
 		return false
 	}
@@ -462,13 +496,13 @@ func (c *Core) transition(pc isa.Addr, b isa.BlockID) bool {
 			c.finishTransition(b)
 			return true
 		} else {
-			c.cycleStall = &c.M.StallICache
+			c.cycleCause = obs.StallICache
 			return false
 		}
 	}
 	if !c.gateDone {
 		if !c.design.FTQGate(pc) {
-			c.cycleStall = &c.M.StallFTQ
+			c.cycleCause = obs.StallFTQ
 			return false
 		}
 		c.gateDone = true
@@ -479,7 +513,7 @@ func (c *Core) transition(pc isa.Addr, b isa.BlockID) bool {
 	}
 	c.waiting = true
 	c.waitBlk = b
-	c.cycleStall = &c.M.StallICache
+	c.cycleCause = obs.StallICache
 	return false
 }
 

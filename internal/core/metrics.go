@@ -1,5 +1,7 @@
 package core
 
+import "dnc/internal/obs"
+
 // Metrics are the per-core measurement counters collected during the
 // measurement window. They are plain fields (not a registry) because the
 // fetch loop updates them every cycle.
@@ -26,13 +28,17 @@ type Metrics struct {
 	CMALCovered uint64
 	CMALTotal   uint64
 
-	// Stall cycles by cause (zero-delivery cycles).
+	// Stall cycles by cause (zero-delivery cycles). Together with
+	// BusyCycles they partition the window: every cycle is either busy
+	// (>=1 delivered slot) or charged to exactly one cause — sim.Audit
+	// enforces the conservation (see StallCycles).
 	StallBackend   uint64
 	StallICache    uint64
 	StallFTQ       uint64
 	StallBTB       uint64
 	StallMispred   uint64
 	StallStartup   uint64 // cycles before the first instruction delivered
+	BusyCycles     uint64 // cycles that delivered at least one instruction
 	DeliveredSlots uint64
 
 	// Branch behaviour.
@@ -74,6 +80,49 @@ func (m *Metrics) IPC() float64 {
 // the paper's FSCR).
 func (m *Metrics) FrontendStalls() uint64 {
 	return m.StallICache + m.StallFTQ + m.StallBTB
+}
+
+// chargeStall accounts one zero-delivery cycle to its cause. StallNone
+// charges nothing (a defensive no-op; the fetch engine attributes every
+// idle cycle, and the conservation audit catches any hole).
+func (m *Metrics) chargeStall(cause obs.StallCause) {
+	switch cause {
+	case obs.StallICache:
+		m.StallICache++
+	case obs.StallFTQ:
+		m.StallFTQ++
+	case obs.StallBTB:
+		m.StallBTB++
+	case obs.StallMispred:
+		m.StallMispred++
+	case obs.StallBackend:
+		m.StallBackend++
+	case obs.StallStartup:
+		m.StallStartup++
+	}
+}
+
+// StallBreakdown returns the per-cause stall cycles indexed by
+// obs.StallCause; the StallNone slot holds BusyCycles, so the entries sum
+// to Cycles when attribution is conserved.
+func (m *Metrics) StallBreakdown() [obs.NumStallCauses]uint64 {
+	var out [obs.NumStallCauses]uint64
+	out[obs.StallNone] = m.BusyCycles
+	out[obs.StallICache] = m.StallICache
+	out[obs.StallFTQ] = m.StallFTQ
+	out[obs.StallBTB] = m.StallBTB
+	out[obs.StallMispred] = m.StallMispred
+	out[obs.StallBackend] = m.StallBackend
+	out[obs.StallStartup] = m.StallStartup
+	return out
+}
+
+// StallCycles returns the total attributed stall cycles across all causes.
+// Conservation — BusyCycles + StallCycles() == Cycles — is a structural
+// invariant checked by the core's Audit.
+func (m *Metrics) StallCycles() uint64 {
+	return m.StallBackend + m.StallICache + m.StallFTQ + m.StallBTB +
+		m.StallMispred + m.StallStartup
 }
 
 // CMAL returns the covered-memory-access-latency fraction.
@@ -129,6 +178,7 @@ func (m *Metrics) Add(o *Metrics) {
 	m.StallBTB += o.StallBTB
 	m.StallMispred += o.StallMispred
 	m.StallStartup += o.StallStartup
+	m.BusyCycles += o.BusyCycles
 	m.DeliveredSlots += o.DeliveredSlots
 	m.CondBranches += o.CondBranches
 	m.Mispredicts += o.Mispredicts

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"dnc/internal/isa"
+	"dnc/internal/obs"
+)
+
+// ObsHooks are the observability attachment points of one core. All fields
+// are optional; the zero value disables everything and the fetch loop pays a
+// single pointer test per cycle.
+type ObsHooks struct {
+	// Tracer receives stall spans, fill/prefetch events, and discontinuity
+	// triggers for this core.
+	Tracer *obs.Tracer
+	// DemandLat and PrefetchLat observe L1i miss issue->fill latency, split
+	// by who issued the request.
+	DemandLat   *obs.Histogram
+	PrefetchLat *obs.Histogram
+}
+
+// SetObs attaches observability hooks; pass the zero ObsHooks to detach.
+func (c *Core) SetObs(h ObsHooks) {
+	c.hooks = h
+	c.trCause = obs.StallNone
+	c.trStart = c.cycle
+}
+
+// emit records one tracer event for this core (no-op when tracing is off).
+func (c *Core) emit(kind obs.EventKind, arg, dur uint64) {
+	if c.hooks.Tracer == nil {
+		return
+	}
+	c.hooks.Tracer.Emit(obs.Event{
+		Cycle: c.cycle, Dur: dur, Arg: arg,
+		Core: int16(c.cf.Tile), Kind: kind,
+	})
+}
+
+// traceStall folds this cycle's attribution into the coalesced stall-run
+// state: consecutive cycles with the same cause become one span, emitted when
+// the cause changes. Only called when a tracer is attached.
+func (c *Core) traceStall(cause obs.StallCause) {
+	if cause == c.trCause {
+		return
+	}
+	c.flushStallRun()
+	c.trCause = cause
+	c.trStart = c.cycle
+}
+
+// flushStallRun emits the open stall span, if any, ending at the current
+// cycle.
+func (c *Core) flushStallRun() {
+	if c.trCause == obs.StallNone || c.hooks.Tracer == nil {
+		return
+	}
+	c.hooks.Tracer.Emit(obs.Event{
+		Cycle: c.trStart, Dur: c.cycle - c.trStart, Arg: uint64(c.trCause),
+		Core: int16(c.cf.Tile), Kind: obs.EvStall,
+	})
+}
+
+// FlushObs closes the open stall run; the runner calls it before exporting
+// so an in-progress stall at end-of-run still appears in the trace.
+func (c *Core) FlushObs() {
+	c.flushStallRun()
+	c.trCause = obs.StallNone
+	c.trStart = c.cycle
+}
+
+// TraceDiscontinuity implements prefetch.TraceSink: designs report each
+// discontinuity-triggered prefetch decision for the event trace.
+func (c *Core) TraceDiscontinuity(b isa.BlockID) {
+	c.emit(obs.EvDiscontinuity, uint64(b), 0)
+}
+
+// ROBOccupancy returns the current ROB entry count (occupancy gauge).
+func (c *Core) ROBOccupancy() int { return c.robCount }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"dnc/internal/isa"
+	"dnc/internal/obs"
 )
 
 // Config describes the LLC.
@@ -90,7 +91,14 @@ type LLC struct {
 	clock    uint64
 	stats    Stats
 	queueSum uint64
+
+	// queueHist, when set, observes every access's bank queueing delay
+	// (zeros included, so the histogram shows the delayed fraction).
+	queueHist *obs.Histogram
 }
+
+// SetObs attaches a bank-queue-delay histogram (nil detaches).
+func (c *LLC) SetObs(queue *obs.Histogram) { c.queueHist = queue }
 
 // New returns an empty LLC.
 func New(cfg Config) *LLC {
@@ -137,12 +145,13 @@ func (c *LLC) BankDelay(b isa.BlockID, cycle uint64) uint64 {
 		bw.busy = 0
 	}
 	bw.busy += c.cfg.BankServiceCycles
+	var d uint64
 	if bw.busy > 64 {
-		d := bw.busy - 64
+		d = bw.busy - 64
 		c.queueSum += d
-		return d
 	}
-	return 0
+	c.queueHist.Observe(d)
+	return d
 }
 
 // QueuedCycles returns cumulative bank queueing delay.

@@ -6,7 +6,11 @@
 // paper) — emerge from this contention model.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"dnc/internal/obs"
+)
 
 // Tile identifies a mesh node (core + LLC slice).
 type Tile int
@@ -52,6 +56,10 @@ type Mesh struct {
 	flits   uint64
 	packets uint64
 	queued  uint64 // total cycles of over-subscription delay
+
+	// lat, when set, observes each packet's injection-to-delivery latency
+	// (hops, serialization, and queueing included).
+	lat *obs.Histogram
 }
 
 // Link directions out of a tile.
@@ -111,6 +119,7 @@ func (m *Mesh) Send(src, dst Tile, flits int, cycle uint64) uint64 {
 	m.packets++
 	if src == dst {
 		// Local slice: no network traversal, a single-cycle forward.
+		m.lat.Observe(1)
 		return cycle + 1
 	}
 	x, y := m.xy(src)
@@ -144,8 +153,13 @@ func (m *Mesh) Send(src, dst Tile, flits int, cycle uint64) uint64 {
 		t += m.cfg.HopCycles + delay
 	}
 	// Tail flits of the packet arrive behind the head.
-	return t + uint64(flits) - 1
+	t += uint64(flits) - 1
+	m.lat.Observe(t - cycle)
+	return t
 }
+
+// SetObs attaches a packet-latency histogram (nil detaches).
+func (m *Mesh) SetObs(lat *obs.Histogram) { m.lat = lat }
 
 // Packets returns the number of packets injected.
 func (m *Mesh) Packets() uint64 { return m.packets }

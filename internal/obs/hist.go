@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram of uint64 observations. Bucket i
+// counts values v with bounds[i-1] < v <= bounds[i]; one implicit overflow
+// bucket counts values above the last bound. Bounds are fixed at
+// construction so Observe is a branch-light binary search with no
+// allocation, cheap enough for per-event use on the simulator's hot paths.
+type Histogram struct {
+	name   string
+	bounds []uint64
+	counts []uint64 // len(bounds)+1; last is the overflow bucket
+	n      uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper-inclusive bucket bounds. It panics on an empty or non-increasing
+// bound set — bounds are compiled into the build, not data.
+func NewHistogram(name string, bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram " + name + " with no bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not strictly increasing at %d: %d <= %d",
+				name, i, bounds[i], bounds[i-1]))
+		}
+	}
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{name: name, bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// ExpBounds returns n geometrically growing bounds starting at first; each
+// bound is at least one larger than the previous, so degenerate factors
+// still yield strictly increasing bounds.
+func ExpBounds(first uint64, factor float64, n int) []uint64 {
+	if first == 0 {
+		first = 1
+	}
+	out := make([]uint64, 0, n)
+	v := first
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		next := uint64(float64(v) * factor)
+		if next <= v {
+			next = v + 1
+		}
+		v = next
+	}
+	return out
+}
+
+// LinearBounds returns n bounds at step, 2*step, ..., n*step.
+func LinearBounds(step uint64, n int) []uint64 {
+	if step == 0 {
+		step = 1
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = step * uint64(i+1)
+	}
+	return out
+}
+
+// Name returns the registration name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value. Safe on a nil histogram (the disabled fast
+// path costs one pointer test).
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Reset zeroes the histogram (window boundary).
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	clear(h.counts)
+	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// Snapshot captures the histogram's state for folding into a run result.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Name:   h.name,
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		N:      h.n,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+	return s
+}
+
+// HistSnapshot is an immutable, JSON-friendly copy of a histogram. Counts
+// has one entry per bound plus the trailing overflow bucket.
+type HistSnapshot struct {
+	Name   string   `json:"name"`
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	N      uint64   `json:"n"`
+	Sum    uint64   `json:"sum"`
+	Min    uint64   `json:"min"`
+	Max    uint64   `json:"max"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N)
+}
+
+// Quantile returns an upper estimate of the q-quantile (0 < q <= 1): the
+// smallest bucket bound whose cumulative count reaches q, or Max for
+// observations in the overflow bucket. Empty histograms return 0.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.N == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.N))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// String renders a one-line summary: count, mean, p50/p90/p99 and max.
+func (s HistSnapshot) String() string {
+	if s.N == 0 {
+		return fmt.Sprintf("%s: empty", s.Name)
+	}
+	return fmt.Sprintf("%s: n=%d mean=%.1f p50<=%d p90<=%d p99<=%d max=%d",
+		s.Name, s.N, s.Mean(), s.Quantile(0.50), s.Quantile(0.90),
+		s.Quantile(0.99), s.Max)
+}
+
+// Bars renders an ASCII bucket profile for terminal inspection.
+func (s HistSnapshot) Bars(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var peak uint64
+	for _, c := range s.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range s.Counts {
+		label := "+Inf"
+		if i < len(s.Bounds) {
+			label = fmt.Sprintf("%d", s.Bounds[i])
+		}
+		n := int(c * uint64(width) / peak)
+		fmt.Fprintf(&b, "  <=%8s %8d %s\n", label, c, strings.Repeat("#", n))
+	}
+	return b.String()
+}

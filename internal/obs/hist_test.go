@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram("b", []uint64{10, 20, 30})
+	// Buckets are upper-inclusive: bucket i counts bounds[i-1] < v <= bounds[i].
+	for _, v := range []uint64{0, 5, 10} {
+		h.Observe(v) // bucket 0
+	}
+	h.Observe(11) // bucket 1
+	h.Observe(20) // bucket 1
+	h.Observe(30) // bucket 2
+	h.Observe(31) // overflow
+	h.Observe(1 << 40)
+
+	s := h.Snapshot()
+	want := []uint64{3, 2, 1, 2}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("got %d buckets (incl. overflow), want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if s.Min != 0 || s.Max != 1<<40 {
+		t.Errorf("min/max = %d/%d, want 0/%d", s.Min, s.Max, uint64(1)<<40)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("q", []uint64{1, 2, 4, 8})
+	for v := uint64(1); v <= 8; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 8 observations: one each in <=1 and <=2, two in <=4, four in <=8.
+	if got := s.Quantile(0.50); got != 4 {
+		t.Errorf("p50 = %d, want 4", got)
+	}
+	if got := s.Quantile(1.0); got != 8 {
+		t.Errorf("p100 = %d, want 8", got)
+	}
+	if got := s.Quantile(0.125); got != 1 {
+		t.Errorf("p12.5 = %d, want 1", got)
+	}
+	// Overflow observations report Max, not a bound.
+	h.Observe(100)
+	if got := h.Snapshot().Quantile(1.0); got != 100 {
+		t.Errorf("overflow quantile = %d, want 100", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestHistogramMeanAndString(t *testing.T) {
+	h := NewHistogram("lat", []uint64{10, 100})
+	h.Observe(10)
+	h.Observe(30)
+	s := h.Snapshot()
+	if s.Mean() != 20 {
+		t.Errorf("mean = %v, want 20", s.Mean())
+	}
+	if str := s.String(); !strings.Contains(str, "lat: n=2 mean=20.0") {
+		t.Errorf("String() = %q", str)
+	}
+	if str := (HistSnapshot{Name: "x"}).String(); str != "x: empty" {
+		t.Errorf("empty String() = %q", str)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram("r", []uint64{4})
+	h.Observe(3)
+	h.Observe(99)
+	h.Reset()
+	s := h.Snapshot()
+	if s.N != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Errorf("after Reset: n=%d sum=%d max=%d, want zeros", s.N, s.Sum, s.Max)
+	}
+	for i, c := range s.Counts {
+		if c != 0 {
+			t.Errorf("bucket %d = %d after Reset", i, c)
+		}
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(7) // must not panic
+	h.Reset()
+	if h.Count() != 0 {
+		t.Error("nil Count != 0")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]uint64{
+		"empty":          nil,
+		"non-increasing": {4, 4},
+		"decreasing":     {8, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds: no panic", name)
+				}
+			}()
+			NewHistogram("bad", bounds)
+		}()
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(8, 1.5, 6)
+	if len(b) != 6 || b[0] != 8 {
+		t.Fatalf("ExpBounds = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("not increasing at %d: %v", i, b)
+		}
+	}
+	// Degenerate factor and zero first value still yield valid bounds.
+	for i, v := range ExpBounds(0, 1.0, 4) {
+		if v != uint64(i+1) {
+			t.Fatalf("degenerate ExpBounds = %v", ExpBounds(0, 1.0, 4))
+		}
+	}
+}
+
+func TestLinearBounds(t *testing.T) {
+	b := LinearBounds(8, 3)
+	if len(b) != 3 || b[0] != 8 || b[1] != 16 || b[2] != 24 {
+		t.Fatalf("LinearBounds = %v", b)
+	}
+	if z := LinearBounds(0, 2); z[0] != 1 || z[1] != 2 {
+		t.Fatalf("zero-step LinearBounds = %v", z)
+	}
+}

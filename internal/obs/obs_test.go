@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestTracerRingRotation(t *testing.T) {
+	tr := NewTracer(4)
+	for i := uint64(1); i <= 6; i++ {
+		tr.Emit(Event{Cycle: i, Kind: EvStall})
+	}
+	if got := tr.Total(); got != 6 {
+		t.Errorf("Total = %d, want 6", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events) = %d, want 4", len(evs))
+	}
+	// Oldest first: emissions 3..6 survive.
+	for i, ev := range evs {
+		if want := uint64(i + 3); ev.Cycle != want {
+			t.Errorf("Events[%d].Cycle = %d, want %d", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestTracerUnderfilled(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Cycle: 1})
+	tr.Emit(Event{Cycle: 2})
+	if tr.Dropped() != 0 {
+		t.Errorf("Dropped = %d before wrap", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Cycle != 1 || evs[1].Cycle != 2 {
+		t.Errorf("Events = %v", evs)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Emit(Event{Cycle: 1})
+	tr.Emit(Event{Cycle: 2})
+	tr.Emit(Event{Cycle: 3})
+	tr.Reset()
+	if tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Errorf("after Reset: total=%d dropped=%d events=%v",
+			tr.Total(), tr.Dropped(), tr.Events())
+	}
+	tr.Emit(Event{Cycle: 9})
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Cycle != 9 {
+		t.Errorf("post-Reset Events = %v", evs)
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	if tr := NewTracer(0); tr != nil {
+		t.Error("NewTracer(0) != nil")
+	}
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer Enabled")
+	}
+	tr.Emit(Event{Cycle: 1}) // must not panic
+	if tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer not empty")
+	}
+	tr.Reset()
+}
+
+func TestStallCauseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		n := c.String()
+		if n == "" || n == "unknown" {
+			t.Errorf("cause %d has no name", c)
+		}
+		if seen[n] {
+			t.Errorf("duplicate cause name %q", n)
+		}
+		seen[n] = true
+	}
+	if NumStallCauses.String() != "unknown" {
+		t.Error("out-of-range cause should be unknown")
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if n := k.String(); n == "" || n == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

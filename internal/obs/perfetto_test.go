@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the perfetto golden file")
+
+// goldenEvents is a small deterministic trace exercising every event kind,
+// per-core and machine-global placement, and the fill back-dating path
+// (Dur > Cycle clamps the start at zero).
+func goldenEvents() []Event {
+	return []Event{
+		{Cycle: 0, Dur: 12, Arg: uint64(StallStartup), Core: 0, Kind: EvStall},
+		{Cycle: 5, Dur: 40, Arg: 0x80, Core: 0, Kind: EvDemandFill},
+		{Cycle: 12, Arg: 0x81, Core: 0, Kind: EvPrefetchIssue},
+		{Cycle: 14, Arg: 0x82, Core: 1, Kind: EvPrefetchDrop},
+		{Cycle: 20, Dur: 6, Arg: uint64(StallICache), Core: 1, Kind: EvStall},
+		{Cycle: 30, Dur: 18, Arg: 0x81, Core: 0, Kind: EvPrefetchFill},
+		{Cycle: 33, Arg: 0x200, Core: 1, Kind: EvDiscontinuity},
+		{Cycle: 40, Arg: 1, Core: -1, Kind: EvCheckpoint},
+	}
+}
+
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := WritePerfetto(&buf, goldenEvents(), TraceMeta{
+		Workload: "golden-wl", Design: "golden-d", Cores: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export differs from %s (regenerate with -update if intended)\ngot:\n%s",
+			golden, buf.String())
+	}
+}
+
+func TestWritePerfettoIsValidTraceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, goldenEvents(), TraceMeta{Workload: "w", Design: "d", Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var spans, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Pid < 0 || ev.Pid > 2 {
+			t.Errorf("event %q on pid %d, want 0..2", ev.Name, ev.Pid)
+		}
+	}
+	// 2 stall spans + 2 fills; prefetch issue/drop, discontinuity, checkpoint.
+	if spans != 4 || instants != 4 {
+		t.Errorf("spans=%d instants=%d, want 4 and 4", spans, instants)
+	}
+	// 4 metadata records per core plus 2 for the machine process.
+	if meta != 10 {
+		t.Errorf("meta=%d, want 10", meta)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+}
+
+func TestWritePerfettoBackdatesFillStart(t *testing.T) {
+	// A fill whose latency exceeds its completion cycle (possible for fills
+	// issued during warm-up that complete right after the window reset) must
+	// clamp its start at zero, not underflow.
+	var buf bytes.Buffer
+	evs := []Event{{Cycle: 10, Dur: 50, Arg: 1, Core: 0, Kind: EvDemandFill}}
+	if err := WritePerfetto(&buf, evs, TraceMeta{Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+			Ts uint64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Ts != 0 {
+			t.Errorf("backdated fill starts at ts=%d, want 0", ev.Ts)
+		}
+	}
+}
+
+func TestWritePerfettoFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WritePerfettoFile(path, goldenEvents(), TraceMeta{Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Error("file is not valid JSON")
+	}
+}

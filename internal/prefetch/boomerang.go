@@ -36,6 +36,9 @@ type Boomerang struct {
 	EnginePrefetches uint64
 }
 
+// QueueOccupancy implements OccupancyReporter: the FTQ's current depth.
+func (d *Boomerang) QueueOccupancy() int { return len(d.q.blocks) }
+
 // BoomerangConfig sizes the design.
 type BoomerangConfig struct {
 	BTBEntries, BTBWays int

@@ -55,6 +55,24 @@ type Env interface {
 	PredictTaken(pc isa.Addr) bool
 }
 
+// TraceSink is an optional capability of the Env: an event tracer for
+// prefetch decisions. Designs that want their triggers in the trace check
+// for it at Bind time; cores without observability simply don't implement
+// it, and test fakes of Env need not care.
+type TraceSink interface {
+	// TraceDiscontinuity records that a recorded discontinuity was replayed
+	// into a prefetch candidate for block b.
+	TraceDiscontinuity(b isa.BlockID)
+}
+
+// OccupancyReporter is an optional capability of a Design: engines with a
+// fetch-target or candidate queue expose its occupancy so the observability
+// layer can sample it as a gauge.
+type OccupancyReporter interface {
+	// QueueOccupancy returns the current total queued entries.
+	QueueOccupancy() int
+}
+
 // Design is a frontend configuration: BTB organization plus prefetcher.
 type Design interface {
 	// Name identifies the design in reports.

@@ -132,6 +132,9 @@ type Proactive struct {
 	disQ *boundedQueue
 	rluQ *boundedQueue
 
+	// sink is the core's event tracer, when it offers one (see TraceSink).
+	sink TraceSink
+
 	// pendingDecode holds blocks whose Dis replay / pre-decode awaits the
 	// block's fill (raw bytes are needed to decode).
 	pendingDecode map[isa.BlockID]int
@@ -182,6 +185,19 @@ func NewProactive(cfg ProactiveConfig) *Proactive {
 		p.btb.PB = btb.NewPrefetchBuffer(pbe, pbw)
 	}
 	return p
+}
+
+// Bind implements Design, additionally capturing the environment's trace
+// sink when it has one.
+func (p *Proactive) Bind(env Env) {
+	p.Base.Bind(env)
+	p.sink, _ = env.(TraceSink)
+}
+
+// QueueOccupancy implements OccupancyReporter: total entries across the
+// Seq, Dis, and RLU queues.
+func (p *Proactive) QueueOccupancy() int {
+	return len(p.seqQ.items) + len(p.disQ.items) + len(p.rluQ.items)
 }
 
 // Name implements Design.
@@ -340,6 +356,9 @@ func (p *Proactive) decodeBlock(b isa.BlockID, depth int) {
 		}
 	}
 	if tb, ok := replayDis(env, p.dis, p.btb, b, &p.Replay); ok {
+		if p.sink != nil {
+			p.sink.TraceDiscontinuity(tb)
+		}
 		p.rluQ.push(qItem{block: tb, depth: depth, fromDis: true})
 	}
 }

@@ -232,6 +232,9 @@ func (d *Shotgun) popFPOwner() (isa.Addr, bool) {
 	return v, true
 }
 
+// QueueOccupancy implements OccupancyReporter: the FTQ's current depth.
+func (d *Shotgun) QueueOccupancy() int { return len(d.q.blocks) }
+
 // FTQGate implements Design.
 func (d *Shotgun) FTQGate(pc isa.Addr) bool {
 	b := isa.BlockOf(pc)

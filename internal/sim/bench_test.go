@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+
+	"dnc/internal/obs"
+	"dnc/internal/prefetch"
+)
+
+// The disabled-observability fast path must stay within a couple of percent
+// of the uninstrumented cycle loop (ISSUE acceptance: <2%). Compare:
+//
+//	go test ./internal/sim -bench BenchmarkRunObs -benchtime 5x
+func benchRun(b *testing.B, oc *obs.Config) {
+	b.Helper()
+	rc := RunConfig{
+		Workload: smallWorkload(),
+		NewDesign: func() prefetch.Design {
+			return prefetch.NewProactive(prefetch.DefaultProactiveConfig())
+		},
+		Cores:         2,
+		WarmCycles:    10_000,
+		MeasureCycles: 40_000,
+		Seed:          1,
+		Obs:           oc,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Run(rc)
+		if r.M.Retired == 0 {
+			b.Fatal("no instructions retired")
+		}
+	}
+}
+
+func BenchmarkRunObsOff(b *testing.B) { benchRun(b, nil) }
+
+func BenchmarkRunObsSampled(b *testing.B) { benchRun(b, &obs.Config{}) }
+
+func BenchmarkRunObsTraced(b *testing.B) {
+	benchRun(b, &obs.Config{TraceEvents: 1 << 16})
+}

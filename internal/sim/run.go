@@ -240,6 +240,9 @@ type machine struct {
 	walkers []*wl.Walker
 	watch   *watchdog
 	closers []func()
+	// obs is the run's observability state, nil when disabled; the tick loop
+	// pays one pointer test per cycle for it.
+	obs *machineObs
 
 	// phase is the current window (0 = warm-up, 1 = measurement) and done
 	// the cycles completed within it; together with the watchdog counters
@@ -287,6 +290,10 @@ func buildMachine(rc RunConfig, mk streamMaker) (*machine, error) {
 		m.cores[i] = core.New(cc, stream, m.prog.Image, d, m.uncore)
 	}
 	m.watch = newWatchdog(rc, m.cores, m.uncore)
+	if rc.Obs != nil {
+		m.obs = newMachineObs(*rc.Obs)
+		m.obs.attach(m)
+	}
 	return m, nil
 }
 
@@ -309,6 +316,9 @@ func (m *machine) run(ctx context.Context) error {
 		m.uncore.LLC.ResetStats()
 		m.uncore.Mesh.ResetStats()
 		m.uncore.DRAM.ResetStats()
+		if m.obs != nil {
+			m.obs.resetWindow(m)
+		}
 		m.phase = 1
 		m.done = 0
 	}
@@ -330,6 +340,9 @@ func (m *machine) runPhase(ctx context.Context, total uint64) error {
 		}
 		m.watch.cycle++
 		m.done++
+		if m.obs != nil && m.watch.cycle%m.obs.sampleEvery == 0 {
+			m.obs.sample(m)
+		}
 		if m.watch.cycle%checkEvery == 0 {
 			if ctx != nil {
 				select {
@@ -371,6 +384,9 @@ func (m *machine) checkpoint() error {
 	if err := m.auditNow(); err != nil {
 		return err
 	}
+	if m.obs != nil {
+		m.obs.noteCheckpoint(m.watch.cycle)
+	}
 	return checkpoint.WriteFile(m.rc.CheckpointPath, m.encode())
 }
 
@@ -389,6 +405,9 @@ func (m *machine) result() Result {
 	for i, c := range m.cores {
 		res.PerCore[i] = c.M
 		res.M.Add(&c.M)
+	}
+	if m.obs != nil {
+		res.Obs = m.obs.fold(m)
 	}
 	return res
 }

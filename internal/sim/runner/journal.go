@@ -9,6 +9,7 @@ import (
 
 	"dnc/internal/core"
 	"dnc/internal/llc"
+	"dnc/internal/obs"
 	"dnc/internal/sim"
 )
 
@@ -38,6 +39,9 @@ type journalResult struct {
 	NoCQueued   uint64         `json:"noc_queued"`
 	DRAMQueued  uint64         `json:"dram_queued"`
 	StorageBits int            `json:"storage_bits"`
+	// Obs carries the observability snapshot (histograms and counters; trace
+	// events are in-memory only and never journaled).
+	Obs *obs.RunObs `json:"obs,omitempty"`
 }
 
 func toJournalResult(r sim.Result) *journalResult {
@@ -51,6 +55,7 @@ func toJournalResult(r sim.Result) *journalResult {
 		NoCQueued:   r.NoCQueued,
 		DRAMQueued:  r.DRAMQueued,
 		StorageBits: r.StorageBits,
+		Obs:         r.Obs,
 	}
 }
 
@@ -65,6 +70,7 @@ func (jr *journalResult) toResult() sim.Result {
 		NoCQueued:   jr.NoCQueued,
 		DRAMQueued:  jr.DRAMQueued,
 		StorageBits: jr.StorageBits,
+		Obs:         jr.Obs,
 	}
 }
 
@@ -79,7 +85,19 @@ type journal struct {
 	// appends (1 = after each) and once more at close.
 	syncEvery int
 	pending   int
-	errs      []error
+	// appends counts records written this sweep; with pending it gives the
+	// journal's durability lag for the debug endpoint.
+	appends int
+	errs    []error
+}
+
+// stats returns total appends this sweep and records not yet fsynced. Safe
+// on a nil journal.
+func (j *journal) stats() (appends, pending int) {
+	if j == nil {
+		return 0, 0
+	}
+	return j.appends, j.pending
 }
 
 // openJournal loads completed cells from an existing journal (if any) and
@@ -166,6 +184,7 @@ func (j *journal) append(res CellResult) {
 		j.errs = append(j.errs, fmt.Errorf("runner: journal write for cell %s: %w", res.ID, err))
 		return
 	}
+	j.appends++
 	j.pending++
 	if j.pending >= j.syncEvery {
 		j.sync()

@@ -96,6 +96,10 @@ type Options struct {
 	Transient func(error) bool
 	// OnResult, when set, observes each finished cell (called serially).
 	OnResult func(CellResult)
+	// Progress, when set, is updated live as cells start and finish — the
+	// data source for periodic console summaries and the debug HTTP
+	// endpoint (see NewProgress, StartDebug).
+	Progress *Progress
 }
 
 // Report summarizes a sweep. Cells holds one result per input cell, in
@@ -210,6 +214,7 @@ func Sweep(ctx context.Context, cells []Cell, o Options) (*Report, error) {
 	}
 
 	rep := &Report{Cells: make([]CellResult, len(cells))}
+	o.Progress.addTotal(len(cells))
 	var mu sync.Mutex // guards journal appends and OnResult
 	finish := func(i int, res CellResult) {
 		rep.Cells[i] = res
@@ -218,6 +223,8 @@ func Sweep(ctx context.Context, cells []Cell, o Options) (*Report, error) {
 		if jr != nil && res.Status != StatusResumed {
 			jr.append(res)
 		}
+		o.Progress.observe(res)
+		o.Progress.journalLag(jr.stats())
 		if o.OnResult != nil {
 			o.OnResult(res)
 		}
@@ -239,6 +246,7 @@ func Sweep(ctx context.Context, cells []Cell, o Options) (*Report, error) {
 					})
 					continue
 				}
+				o.Progress.begin(cell.ID)
 				finish(i, runCell(ctx, cell, o))
 			}
 		}()

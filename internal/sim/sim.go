@@ -12,6 +12,7 @@ import (
 	wl "dnc/internal/cfg"
 	"dnc/internal/core"
 	"dnc/internal/llc"
+	"dnc/internal/obs"
 	"dnc/internal/prefetch"
 )
 
@@ -56,6 +57,11 @@ type RunConfig struct {
 	// The snapshot must have been taken from an identical configuration
 	// (workload, design, seed, core count, window lengths).
 	ResumeFrom string
+	// Obs, when non-nil, enables the observability layer: latency and
+	// occupancy histograms, stall-span/event tracing, and per-window gauge
+	// sampling, folded into Result.Obs. Observability is diagnostic state:
+	// it is not checkpointed and does not perturb timing.
+	Obs *obs.Config
 }
 
 // Result is the outcome of one simulation run.
@@ -75,6 +81,10 @@ type Result struct {
 	// Designs exposes the per-core design instances for harness probes
 	// (e.g. Shotgun footprint miss ratios).
 	Designs []prefetch.Design
+	// Obs holds the run's observability snapshot when RunConfig.Obs was set
+	// (nil otherwise). Trace events live only in memory; JSON encodings of
+	// the Result carry the histogram and counter snapshots.
+	Obs *obs.RunObs
 }
 
 // progCache memoizes generated programs; generation is deterministic in the

@@ -84,11 +84,27 @@ func (s *Set) Names() []string {
 	return out
 }
 
-// Reset zeroes every counter in the set.
+// Reset zeroes every counter in the set, in registration order.
 func (s *Set) Reset() {
-	for _, c := range s.counters {
-		c.Reset()
+	for _, n := range s.order {
+		s.counters[n].Reset()
 	}
+}
+
+// CounterValue is one counter's value captured by Snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// Snapshot captures every counter in registration order, for per-window
+// sampling and for folding a registry into a run result.
+func (s *Set) Snapshot() []CounterValue {
+	out := make([]CounterValue, len(s.order))
+	for i, n := range s.order {
+		out[i] = CounterValue{Name: n, Value: s.counters[n].n}
+	}
+	return out
 }
 
 // String renders the set as "name=value" lines sorted by name, for debugging.

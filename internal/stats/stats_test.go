@@ -44,6 +44,29 @@ func TestCounterSet(t *testing.T) {
 	}
 }
 
+func TestSnapshotRegistrationOrder(t *testing.T) {
+	s := NewSet()
+	s.Counter("zeta").Add(1)
+	s.Counter("alpha").Add(2)
+	s.Counter("mid").Add(3)
+	s.Counter("zeta").Add(10) // re-lookup must not reorder
+	snap := s.Snapshot()
+	want := []CounterValue{{"zeta", 11}, {"alpha", 2}, {"mid", 3}}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	for i, w := range want {
+		if snap[i] != w {
+			t.Errorf("snapshot[%d] = %+v, want %+v", i, snap[i], w)
+		}
+	}
+	s.Reset()
+	snap = s.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "zeta" || snap[0].Value != 0 {
+		t.Errorf("post-Reset snapshot = %v, want same order, zero values", snap)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if s.N != 8 || s.Mean != 5 {
