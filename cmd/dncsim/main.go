@@ -19,43 +19,26 @@ import (
 	"sort"
 	"syscall"
 
+	wl "dnc/internal/cfg"
 	"dnc/internal/core"
 	"dnc/internal/isa"
 	"dnc/internal/obs"
 	"dnc/internal/prefetch"
 	"dnc/internal/sim"
+	"dnc/internal/sim/difftest"
 	"dnc/internal/workloads"
 )
 
-// designs maps CLI names to constructors plus per-design core options.
-var designs = map[string]struct {
-	nd  func() prefetch.Design
-	pfb int
-}{
-	"baseline": {func() prefetch.Design { return prefetch.NewBaseline(2048) }, 0},
-	"NL":       {func() prefetch.Design { return prefetch.NewNXL(1, 2048) }, 0},
-	"N2L":      {func() prefetch.Design { return prefetch.NewNXL(2, 2048) }, 0},
-	"N4L":      {func() prefetch.Design { return prefetch.NewNXL(4, 2048) }, 0},
-	"N8L":      {func() prefetch.Design { return prefetch.NewNXL(8, 2048) }, 0},
-	"SN4L":     {func() prefetch.Design { return prefetch.NewSN4L(16<<10, 2048) }, 0},
-	"Dis":      {func() prefetch.Design { return prefetch.NewDis(4<<10, 4, 2048) }, 0},
-	"SN4L+Dis": {func() prefetch.Design {
-		return prefetch.NewProactive(prefetch.DefaultProactiveConfig())
-	}, 0},
-	"SN4L+Dis+BTB": {func() prefetch.Design {
-		c := prefetch.DefaultProactiveConfig()
-		c.WithBTBPrefetch = true
-		return prefetch.NewProactive(c)
-	}, 0},
-	"NL-miss":       {func() prefetch.Design { return prefetch.NewNXLTriggered(1, 2048, prefetch.TriggerMiss) }, 0},
-	"NL-tagged":     {func() prefetch.Design { return prefetch.NewNXLTriggered(1, 2048, prefetch.TriggerTagged) }, 0},
-	"RDIP":          {func() prefetch.Design { return prefetch.NewRDIP(1024, 2048) }, 0},
-	"PIF":           {func() prefetch.Design { return prefetch.NewPIF(prefetch.DefaultPIFConfig()) }, 0},
-	"discontinuity": {func() prefetch.Design { return prefetch.NewDiscontinuity(8<<10, 8, 2048) }, 0},
-	"confluence":    {func() prefetch.Design { return prefetch.NewConfluence(prefetch.DefaultConfluenceConfig()) }, 0},
-	"boomerang":     {func() prefetch.Design { return prefetch.NewBoomerang(prefetch.DefaultBoomerangConfig()) }, 0},
-	"shotgun":       {func() prefetch.Design { return prefetch.NewShotgun(prefetch.DefaultShotgunDesignConfig()) }, 64},
-}
+// designs maps CLI names to catalog entries. The design set and its paper
+// configurations live in prefetch.Catalog(), shared with the differential
+// harness so -verify covers exactly what the CLI can run.
+var designs = func() map[string]prefetch.CatalogEntry {
+	m := make(map[string]prefetch.CatalogEntry)
+	for _, e := range prefetch.Catalog() {
+		m[e.Name] = e
+	}
+	return m
+}()
 
 func main() {
 	workload := flag.String("workload", "Web-Zeus", "workload name (see -listworkloads)")
@@ -71,6 +54,8 @@ func main() {
 	ckptPath := flag.String("checkpoint-path", "", "snapshot the run into this file every -checkpoint-every cycles")
 	ckptEvery := flag.Uint64("checkpoint-every", 65536, "snapshot cadence in simulated cycles (with -checkpoint-path)")
 	resume := flag.String("resume", "", "resume the run from this snapshot file instead of starting at cycle zero")
+	verify := flag.Bool("verify", false, "differentially validate designs against the reference oracle instead of reporting performance (all designs unless -design is given explicitly; honors -workload/-cores/-warm/-measure/-verify-seeds)")
+	verifySeeds := flag.Int("verify-seeds", 3, "independent walker seeds per design with -verify")
 	obsOn := flag.Bool("obs", false, "enable the observability layer: latency/occupancy histograms and stall attribution summaries")
 	traceOut := flag.String("trace-out", "", "export the measurement window's event trace as Chrome trace_event JSON (load in ui.perfetto.dev); implies -obs")
 	traceEvents := flag.Int("trace-events", 1<<16, "event tracer ring capacity with -trace-out (keeps the trailing events)")
@@ -106,11 +91,22 @@ func main() {
 		m = isa.Variable
 	}
 
+	if *verify {
+		entries := prefetch.Catalog()
+		designGiven := false
+		flag.Visit(func(f *flag.Flag) { designGiven = designGiven || f.Name == "design" })
+		if designGiven {
+			entries = []prefetch.CatalogEntry{d}
+		}
+		runVerify(entries, workloads.Params(*workload, m), *cores, *warm, *measure, *verifySeeds)
+		return
+	}
+
 	cc := core.DefaultConfig()
-	cc.PrefetchBufferEntries = d.pfb
+	cc.PrefetchBufferEntries = d.PrefetchBufferEntries
 	rc := sim.RunConfig{
 		Workload:      workloads.Params(*workload, m),
-		NewDesign:     d.nd,
+		NewDesign:     d.New,
 		Cores:         *cores,
 		WarmCycles:    *warm,
 		MeasureCycles: *measure,
@@ -169,7 +165,7 @@ func main() {
 	}
 
 	if *baseline && *design != "baseline" {
-		rc.NewDesign = designs["baseline"].nd
+		rc.NewDesign = designs["baseline"].New
 		rc.Core.PrefetchBufferEntries = 0
 		// The snapshot (and any resume point) belongs to the main design's
 		// run; the baseline comparison always runs fresh. The comparison is
@@ -186,6 +182,43 @@ func main() {
 		fmt.Printf("  bandwidth ratio    %.2fx\n", sim.BandwidthRatio(r, base))
 		fmt.Printf("  cache lookup ratio %.2fx\n", sim.LookupRatio(r, base))
 	}
+}
+
+// runVerify drives every entry through the differential harness: each run
+// executes the timing simulator with the design shimmed against the
+// functional reference model, asserting the retired instruction stream and
+// demand block-transition stream match instruction for instruction. Any
+// divergence prints a first-divergence report (with the surrounding event
+// window) and the process exits nonzero.
+func runVerify(entries []prefetch.CatalogEntry, p wl.Params, cores int, warm, measure uint64, seeds int) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	failed := false
+	for _, e := range entries {
+		for s := int64(1); s <= int64(seeds); s++ {
+			_, rep, err := difftest.Run(ctx, difftest.Options{
+				Workload:              p,
+				Seed:                  s,
+				NewDesign:             e.New,
+				PrefetchBufferEntries: e.PrefetchBufferEntries,
+				Cores:                 cores,
+				Warm:                  warm,
+				Measure:               measure,
+				Strict:                true,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dncsim: verify %s seed %d: %v\n", e.Name, s, err)
+				os.Exit(1)
+			}
+			fmt.Println(rep)
+			failed = failed || !rep.Ok()
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "dncsim: verification FAILED — the timing simulator diverged from the reference model")
+		os.Exit(1)
+	}
+	fmt.Println("verification passed: all runs equivalent to the reference model")
 }
 
 func report(r sim.Result) {

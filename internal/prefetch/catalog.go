@@ -1,0 +1,45 @@
+package prefetch
+
+// CatalogEntry names one evaluated frontend configuration: a design
+// constructor plus the per-core options it needs (today only the prefetch
+// buffer size Shotgun requires).
+type CatalogEntry struct {
+	Name string
+	New  func() Design
+	// PrefetchBufferEntries is the L1i prefetch-buffer size the design
+	// expects (core.Config.PrefetchBufferEntries); 0 for designs that
+	// prefetch directly into the cache.
+	PrefetchBufferEntries int
+}
+
+// Catalog returns every evaluated design at its paper configuration, in a
+// fixed report order. It is the single source of truth consumed by
+// cmd/dncsim, the benchmark harness and the differential validation
+// harness, so "run every design" always means the same set.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{Name: "baseline", New: func() Design { return NewBaseline(2048) }},
+		{Name: "NL", New: func() Design { return NewNXL(1, 2048) }},
+		{Name: "N2L", New: func() Design { return NewNXL(2, 2048) }},
+		{Name: "N4L", New: func() Design { return NewNXL(4, 2048) }},
+		{Name: "N8L", New: func() Design { return NewNXL(8, 2048) }},
+		{Name: "NL-miss", New: func() Design { return NewNXLTriggered(1, 2048, TriggerMiss) }},
+		{Name: "NL-tagged", New: func() Design { return NewNXLTriggered(1, 2048, TriggerTagged) }},
+		{Name: "SN4L", New: func() Design { return NewSN4L(16<<10, 2048) }},
+		{Name: "Dis", New: func() Design { return NewDis(4<<10, 4, 2048) }},
+		{Name: "SN4L+Dis", New: func() Design {
+			return NewProactive(DefaultProactiveConfig())
+		}},
+		{Name: "SN4L+Dis+BTB", New: func() Design {
+			c := DefaultProactiveConfig()
+			c.WithBTBPrefetch = true
+			return NewProactive(c)
+		}},
+		{Name: "discontinuity", New: func() Design { return NewDiscontinuity(8<<10, 8, 2048) }},
+		{Name: "RDIP", New: func() Design { return NewRDIP(1024, 2048) }},
+		{Name: "PIF", New: func() Design { return NewPIF(DefaultPIFConfig()) }},
+		{Name: "confluence", New: func() Design { return NewConfluence(DefaultConfluenceConfig()) }},
+		{Name: "boomerang", New: func() Design { return NewBoomerang(DefaultBoomerangConfig()) }},
+		{Name: "shotgun", New: func() Design { return NewShotgun(DefaultShotgunDesignConfig()) }, PrefetchBufferEntries: 64},
+	}
+}

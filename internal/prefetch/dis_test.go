@@ -1,0 +1,151 @@
+package prefetch
+
+import (
+	"testing"
+
+	"dnc/internal/isa"
+)
+
+// buildKindImage lays out a fixed-mode block whose slot 3 is a transfer of
+// the given kind (target encoded only for kinds that carry one).
+func buildKindImage(base isa.Addr, kind isa.Kind, target isa.Addr) *isa.Image {
+	var code []byte
+	for i := 0; i < 16; i++ {
+		inst := isa.Inst{PC: base + isa.Addr(i*4), Size: 4, Kind: isa.KindALU}
+		if i == 3 {
+			inst.Kind = kind
+			inst.Target = target
+		}
+		code = isa.AppendInst(code, isa.Fixed, inst)
+	}
+	return isa.NewImage(isa.Fixed, base, code)
+}
+
+// TestDisRecordScansBothDelaySlotCandidates pins the recording rule: the
+// discontinuity branch may be either of the last two demanded instructions
+// (the SPARC delay slot), and zero PCs are skipped.
+func TestDisRecordScansBothDelaySlotCandidates(t *testing.T) {
+	base := isa.Addr(0x10000)
+	branchPC := base + 12
+	cases := []struct {
+		name  string
+		last2 [2]isa.Addr
+		want  bool
+	}{
+		{name: "branch-first", last2: [2]isa.Addr{branchPC, base + 16}, want: true},
+		{name: "branch-second", last2: [2]isa.Addr{base + 16, branchPC}, want: true},
+		{name: "no-branch", last2: [2]isa.Addr{base, base + 4}, want: false},
+		{name: "zero-pcs", last2: [2]isa.Addr{0, 0}, want: false},
+		{name: "zero-then-branch", last2: [2]isa.Addr{0, branchPC}, want: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := newFakeEnv()
+			env.image = buildBranchImage(base, 0x20000)
+			d := NewDis(1024, 4, 2048)
+			d.Bind(env)
+			d.OnDemand(isa.BlockOf(0x20000), false, tc.last2)
+			_, ok := d.Table().Lookup(isa.BlockOf(base))
+			if ok != tc.want {
+				t.Fatalf("recorded = %v, want %v", ok, tc.want)
+			}
+		})
+	}
+}
+
+// TestDisReturnNeedsBTB pins the replay path for transfers without an
+// encoded target: a recorded return replays only once the BTB knows the
+// target, and the miss is counted in ReplayStats.NoTarget until then.
+func TestDisReturnNeedsBTB(t *testing.T) {
+	env := newFakeEnv()
+	base := isa.Addr(0x10000)
+	env.image = buildKindImage(base, isa.KindReturn, 0)
+	d := NewDis(1024, 4, 2048)
+	d.Bind(env)
+
+	blk := isa.BlockOf(base)
+	d.Table().Record(blk, 12)
+	env.install(blk)
+
+	d.OnDemand(blk, true, [2]isa.Addr{})
+	if len(env.issued) != 0 {
+		t.Fatalf("replayed a return with no BTB target: %v", env.issued)
+	}
+	if d.Replay.NoTarget != 1 {
+		t.Fatalf("NoTarget = %d, want 1", d.Replay.NoTarget)
+	}
+
+	// Once the BTB learns the return's target, replay issues it.
+	target := isa.Addr(0x30000)
+	d.BTBCommit(base+12, isa.KindReturn, target, true)
+	d.OnDemand(blk, true, [2]isa.Addr{})
+	if !issuedSet(env.issued)[isa.BlockOf(target)] {
+		t.Fatalf("return target not prefetched after BTB training: %v", env.issued)
+	}
+	if d.Replay.Replayed != 1 {
+		t.Fatalf("Replayed = %d, want 1", d.Replay.Replayed)
+	}
+}
+
+// TestDisReplayStatsClassify pins the stat taxonomy over a table of replay
+// outcomes: no table entry, aliased entry decoding to a non-branch, and a
+// successful replay.
+func TestDisReplayStatsClassify(t *testing.T) {
+	env := newFakeEnv()
+	base := isa.Addr(0x10000)
+	env.image = buildBranchImage(base, 0x20000)
+	d := NewDis(1024, 4, 2048)
+	d.Bind(env)
+	blk := isa.BlockOf(base)
+
+	env.install(blk)
+	d.OnDemand(blk, true, [2]isa.Addr{}) // no entry: attempt only
+	if d.Replay != (ReplayStats{Attempts: 1}) {
+		t.Fatalf("after table miss: %+v", d.Replay)
+	}
+
+	d.Table().Record(blk, 0) // offset 0 decodes to an ALU op
+	d.OnDemand(blk, true, [2]isa.Addr{})
+	if d.Replay.NotBranch != 1 || d.Replay.TableHits != 1 {
+		t.Fatalf("after stale entry: %+v", d.Replay)
+	}
+	if d.Replay.Overprediction() != 1 {
+		t.Fatalf("overprediction = %v, want 1", d.Replay.Overprediction())
+	}
+
+	d.Table().Record(blk, 12) // the real branch
+	d.OnDemand(blk, true, [2]isa.Addr{})
+	if d.Replay.Replayed != 1 {
+		t.Fatalf("after good entry: %+v", d.Replay)
+	}
+	if d.Replay.Overprediction() != 0.5 {
+		t.Fatalf("overprediction = %v, want 0.5", d.Replay.Overprediction())
+	}
+}
+
+// TestDisPendingReplayDedup pins the deferred-replay queue: repeated misses
+// on the same block collapse to one pending entry, the fill drains it, and
+// later unrelated fills do not replay it again.
+func TestDisPendingReplayDedup(t *testing.T) {
+	env := newFakeEnv()
+	base := isa.Addr(0x10000)
+	target := isa.Addr(0x20000)
+	env.image = buildBranchImage(base, target)
+	d := NewDis(1024, 4, 2048)
+	d.Bind(env)
+
+	blk := isa.BlockOf(base)
+	d.Table().Record(blk, 12)
+	d.OnDemand(blk, false, [2]isa.Addr{})
+	d.OnDemand(blk, false, [2]isa.Addr{})
+	if len(d.pending) != 1 {
+		t.Fatalf("pending = %d entries, want 1", len(d.pending))
+	}
+	env.fill(d, blk, false)
+	if len(d.pending) != 0 {
+		t.Fatal("fill did not drain the pending entry")
+	}
+	if !issuedSet(env.issued)[isa.BlockOf(target)] {
+		t.Fatalf("deferred replay missing: %v", env.issued)
+	}
+}

@@ -1,0 +1,165 @@
+package difftest
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnc/internal/core"
+	"dnc/internal/prefetch"
+)
+
+// TestCrossDesignStreamIdentity is the metamorphic form of "prefetching
+// never perturbs the retired stream": every design, run over the same seeds,
+// must produce identical observed-stream digests at every common checkpoint.
+// The digests are folded from what the shims *observed* retiring (not from
+// the oracle), so two designs disagreeing would be caught even if both
+// happened to satisfy the oracle checks.
+func TestCrossDesignStreamIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the oracle matrix covers stream identity in short mode")
+	}
+	var ref *Report
+	for _, entry := range prefetch.Catalog() {
+		o := testOptions(entry, 1)
+		o.Measure = 6144
+		_, rep, err := Run(context.Background(), o)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("%s diverged:\n%s", entry.Name, rep)
+		}
+		if ref == nil {
+			ref = rep
+			for i, trail := range rep.DigestTrail {
+				if len(trail) == 0 {
+					t.Fatalf("%s: core %d retired too little for a digest checkpoint", entry.Name, i)
+				}
+			}
+			continue
+		}
+		for i := range rep.DigestTrail {
+			a, b := ref.DigestTrail[i], rep.DigestTrail[i]
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			if n == 0 {
+				t.Fatalf("%s: core %d has no digest checkpoint in common with %s", entry.Name, i, ref.Design)
+			}
+			for j := 0; j < n; j++ {
+				if a[j] != b[j] {
+					t.Fatalf("%s and %s retire different streams on core %d (digest checkpoint %d: %#x vs %#x)",
+						ref.Design, rep.Design, i, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPerfectL1iUpperBounds checks the ordering metamorphic property: a
+// perfect L1i (every fetch hits) upper-bounds the IPC of every real design —
+// instruction prefetching can only approach it, never beat it.
+func TestPerfectL1iUpperBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering property needs a longer window than the race budget allows")
+	}
+	perfect := testOptions(prefetch.Catalog()[0], 1)
+	perfect.Measure = 8192
+	perfect.Strict = false
+	cc := core.DefaultConfig()
+	cc.PerfectL1i = true
+	perfect.Core = &cc
+	pres, prep, err := Run(context.Background(), perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Ok() {
+		t.Fatalf("perfect-L1i run diverged:\n%s", prep)
+	}
+	bound := pres.M.IPC()
+	if bound <= 0 {
+		t.Fatalf("degenerate perfect-L1i IPC %v", bound)
+	}
+	for _, entry := range prefetch.Catalog() {
+		o := testOptions(entry, 1)
+		o.Measure = 8192
+		o.Strict = false // same core config as the perfect run, minus PerfectL1i
+		res, rep, err := Run(context.Background(), o)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("%s diverged:\n%s", entry.Name, rep)
+		}
+		// Allow 1% slack for window-edge effects (instructions in flight at
+		// the measurement boundary).
+		if ipc := res.M.IPC(); ipc > bound*1.01 {
+			t.Errorf("%s IPC %.4f exceeds perfect-L1i bound %.4f", entry.Name, ipc, bound)
+		}
+	}
+}
+
+// TestCheckpointResumeDifferentialTransparent proves checkpoint/resume is
+// invisible to the differential harness: a run interrupted mid-measurement
+// and resumed from its snapshot stays divergence-free (the oracle's walkers
+// and the shim's lockstep position are part of the snapshot) and converges
+// to the uninterrupted run's metrics and stream digests bit for bit.
+func TestCheckpointResumeDifferentialTransparent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint cadence needs a multi-thousand-cycle window")
+	}
+	entry := prefetch.Catalog()[10] // SN4L+Dis+BTB
+	o := testOptions(entry, 2)
+	// Checkpoints land on the 1024-cycle poll cadence: with warm 2048 and
+	// measure 18000, snapshots at cycles 8192 and 16384 are both strictly
+	// inside the measurement window.
+	o.Warm = 2048
+	o.Measure = 18000
+	o.CheckpointEvery = 8192
+	o.CheckpointPath = filepath.Join(t.TempDir(), "difftest.ckpt")
+
+	straightRes, straightRep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !straightRep.Ok() {
+		t.Fatalf("straight run diverged:\n%s", straightRep)
+	}
+	if _, err := os.Stat(o.CheckpointPath); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+
+	resume := o
+	resume.ResumeFrom = o.CheckpointPath
+	resume.CheckpointEvery = 0
+	resume.CheckpointPath = ""
+	resumedRes, resumedRep, err := Run(context.Background(), resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumedRep.Ok() {
+		t.Fatalf("resumed run diverged (oracle state not restored?):\n%s", resumedRep)
+	}
+	if resumedRes.M != straightRes.M {
+		t.Fatalf("resumed metrics differ from uninterrupted run:\n got %+v\nwant %+v",
+			resumedRes.M, straightRes.M)
+	}
+	if resumedRep.Retired != straightRep.Retired || resumedRep.Transitions != straightRep.Transitions {
+		t.Fatalf("resumed shim coverage differs: retired %d/%d transitions %d/%d",
+			resumedRep.Retired, straightRep.Retired, resumedRep.Transitions, straightRep.Transitions)
+	}
+	for i := range straightRep.DigestTrail {
+		a, b := straightRep.DigestTrail[i], resumedRep.DigestTrail[i]
+		if len(a) != len(b) {
+			t.Fatalf("core %d digest trail length %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("core %d digest checkpoint %d differs after resume", i, j)
+			}
+		}
+	}
+}

@@ -179,6 +179,12 @@ func (e *LivelockError) Is(target error) bool { return target == ErrLivelock }
 // seeded workload walker. It may return a closer for underlying resources.
 type streamMaker func(i int, prog *wl.Program) (wl.Stream, func(), error)
 
+// WalkerSeed returns the walker seed of core i in a run with RunConfig.Seed
+// seed. It is the single definition of the per-core seeding convention, so
+// external replays of a core's committed stream (the differential oracle,
+// trace comparison tools) never drift from the simulator's own walkers.
+func WalkerSeed(seed int64, i int) int64 { return seed*1000 + int64(i) + 1 }
+
 // RunChecked executes one simulation with full fault isolation: the
 // configuration is validated first, panics from any layer of the machine
 // model are recovered into a *RunError carrying the config and stack, the
@@ -271,7 +277,7 @@ func buildMachine(rc RunConfig, mk streamMaker) (*machine, error) {
 		cc.Tile = i
 		var stream wl.Stream
 		if mk == nil {
-			w := wl.NewWalker(m.prog, rc.Seed*1000+int64(i)+1)
+			w := wl.NewWalker(m.prog, WalkerSeed(rc.Seed, i))
 			m.walkers[i] = w
 			stream = w
 		} else {

@@ -207,11 +207,11 @@ func StartDebug(addr string, p *Progress) (*DebugServer, error) {
 		writeJSON(w, map[string]any{
 			"sweep": p.Snapshot(),
 			"memstats": map[string]uint64{
-				"alloc":       ms.Alloc,
-				"total_alloc": ms.TotalAlloc,
-				"sys":         ms.Sys,
+				"alloc":        ms.Alloc,
+				"total_alloc":  ms.TotalAlloc,
+				"sys":          ms.Sys,
 				"heap_objects": ms.HeapObjects,
-				"num_gc":      uint64(ms.NumGC),
+				"num_gc":       uint64(ms.NumGC),
 			},
 			"goroutines": runtime.NumGoroutine(),
 		})

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 
 	wl "dnc/internal/cfg"
@@ -92,32 +93,12 @@ type Result struct {
 var progCache sync.Map // key string -> *wl.Program
 
 func cacheKey(p wl.Params) string {
-	// Name+mode+footprint+seed uniquely identify the presets used by the
-	// harness; ad-hoc parameter sets should vary Name or GenSeed.
-	return p.Name + "|" + p.Mode.String() + "|" +
-		itoa(p.FootprintBytes) + "|" + itoa(int(p.GenSeed))
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	neg := v < 0
-	if neg {
-		v = -v
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
+	// Every Params field participates: generation is deterministic in the
+	// full parameter set, so any two distinct sets must get distinct cache
+	// entries. (An earlier key of just Name|Mode|Footprint|GenSeed silently
+	// served the wrong program to ad-hoc parameter sets — e.g. the fuzzing
+	// harness — that varied only a branch-mix knob.)
+	return fmt.Sprintf("%#v", p)
 }
 
 // Program returns the (cached) generated program for the parameters.

@@ -205,6 +205,34 @@ func TestProgramCache(t *testing.T) {
 	}
 }
 
+// TestProgramCacheKeysEveryParam is the regression test for the under-keyed
+// program cache: two parameter sets differing only in a branch-mix knob (not
+// in Name/Mode/Footprint/GenSeed) must generate distinct programs, not share
+// a cache entry. The stale-entry bug surfaced as phantom divergences in the
+// differential fuzzing harness, which varies exactly these knobs.
+func TestProgramCacheKeysEveryParam(t *testing.T) {
+	base := smallWorkload()
+	tweaked := base
+	tweaked.CondFrac = base.CondFrac + 0.05
+	a, b := Program(base), Program(tweaked)
+	if a == b {
+		t.Fatal("cache served the same program for distinct branch mixes")
+	}
+	// And the tweak must actually change the generated code, proving the
+	// distinct entries are not just duplicate instances.
+	count := func(p *wl.Program) (cond int) {
+		for i := range p.Blocks {
+			if term, ok := p.Blocks[i].Terminator(); ok && term.Kind == isa.KindCondBranch {
+				cond++
+			}
+		}
+		return cond
+	}
+	if count(a) == count(b) {
+		t.Fatal("distinct branch mixes generated identical programs")
+	}
+}
+
 func TestTraceReplayMatchesWorkloadShape(t *testing.T) {
 	p := smallWorkload()
 	dir := t.TempDir()
