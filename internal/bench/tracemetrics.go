@@ -49,8 +49,8 @@ func NextBlockPredictability(workload string) float64 {
 		if c.Access(b) != nil {
 			continue
 		}
-		_, ev := c.Insert(b)
-		if ev != nil {
+		_, ev, evicted := c.Insert(b)
+		if evicted {
 			if pat, ok := cur[ev.Block]; ok {
 				if old, ok2 := last[ev.Block]; ok2 {
 					comparisons++

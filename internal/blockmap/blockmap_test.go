@@ -1,0 +1,177 @@
+package blockmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dnc/internal/isa"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	m := New[int](4)
+	if m.Len() != 0 {
+		t.Fatalf("new map has %d entries", m.Len())
+	}
+	m.Put(10, 100)
+	m.Put(20, 200)
+	if v, ok := m.Get(10); !ok || v != 100 {
+		t.Fatalf("Get(10) = %d, %v", v, ok)
+	}
+	if _, ok := m.Get(30); ok {
+		t.Fatal("Get(30) hit on absent key")
+	}
+	if !m.Contains(20) || m.Contains(30) {
+		t.Fatal("Contains wrong")
+	}
+	// Overwrite keeps Len.
+	m.Put(10, 101)
+	if v, _ := m.Get(10); v != 101 || m.Len() != 2 {
+		t.Fatalf("overwrite: v=%d len=%d", v, m.Len())
+	}
+	if !m.Delete(10) || m.Delete(10) {
+		t.Fatal("Delete reporting wrong")
+	}
+	if m.Contains(10) || m.Len() != 1 {
+		t.Fatal("Delete left the entry")
+	}
+}
+
+func TestPtr(t *testing.T) {
+	m := New[int](4)
+	m.Put(7, 70)
+	p := m.Ptr(7)
+	if p == nil || *p != 70 {
+		t.Fatalf("Ptr(7) = %v", p)
+	}
+	*p = 71
+	if v, _ := m.Get(7); v != 71 {
+		t.Fatalf("write through Ptr lost: %d", v)
+	}
+	if m.Ptr(8) != nil {
+		t.Fatal("Ptr hit on absent key")
+	}
+}
+
+// TestBackwardShiftDelete exercises the deletion rule on colliding probe
+// chains: after deleting an entry in the middle of a chain, every remaining
+// entry must still be reachable.
+func TestBackwardShiftDelete(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		m := New[int](8)
+		ref := map[isa.BlockID]int{}
+		keys := make([]isa.BlockID, 0, 64)
+		for op := 0; op < 400; op++ {
+			if len(keys) == 0 || rng.Intn(3) != 0 {
+				b := isa.BlockID(rng.Intn(96)) // dense range forces collisions
+				v := rng.Int()
+				if _, dup := ref[b]; !dup {
+					keys = append(keys, b)
+				}
+				ref[b] = v
+				m.Put(b, v)
+			} else {
+				i := rng.Intn(len(keys))
+				b := keys[i]
+				keys = append(keys[:i], keys[i+1:]...)
+				delete(ref, b)
+				if !m.Delete(b) {
+					t.Fatalf("trial %d: Delete(%d) missed a live key", trial, b)
+				}
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("trial %d: len %d, want %d", trial, m.Len(), len(ref))
+			}
+		}
+		for b, want := range ref {
+			if got, ok := m.Get(b); !ok || got != want {
+				t.Fatalf("trial %d: Get(%d) = %d, %v; want %d", trial, b, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestGrow(t *testing.T) {
+	m := New[uint64](1)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		m.Put(isa.BlockID(i*7), uint64(i))
+	}
+	if m.Len() != n {
+		t.Fatalf("len %d after %d inserts", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(isa.BlockID(i * 7)); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d, %v", i*7, v, ok)
+		}
+	}
+}
+
+func TestClearKeepsCapacity(t *testing.T) {
+	m := New[int](64)
+	for i := 0; i < 64; i++ {
+		m.Put(isa.BlockID(i), i)
+	}
+	m.Clear()
+	if m.Len() != 0 || m.Contains(3) {
+		t.Fatal("Clear left entries")
+	}
+	// Refilling a cleared, presized table must not allocate.
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Clear()
+		for i := 0; i < 64; i++ {
+			m.Put(isa.BlockID(i), i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("refill after Clear allocated %.1f times per run", allocs)
+	}
+}
+
+func TestAppendKeysAndRange(t *testing.T) {
+	m := New[int](8)
+	want := []isa.BlockID{3, 1, 4, 15, 9, 2, 6}
+	for i, b := range want {
+		m.Put(b, i)
+	}
+	keys := m.AppendKeys(nil)
+	if len(keys) != len(want) {
+		t.Fatalf("AppendKeys returned %d keys, want %d", len(keys), len(want))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sorted := append([]isa.BlockID(nil), want...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := range keys {
+		if keys[i] != sorted[i] {
+			t.Fatalf("keys[%d] = %d, want %d", i, keys[i], sorted[i])
+		}
+	}
+	seen := map[isa.BlockID]int{}
+	m.Range(func(b isa.BlockID, v int) { seen[b] = v })
+	if len(seen) != len(want) {
+		t.Fatalf("Range visited %d entries", len(seen))
+	}
+	for i, b := range want {
+		if seen[b] != i {
+			t.Fatalf("Range saw %d=%d, want %d", b, seen[b], i)
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs is the hot-path contract: a presized table with
+// churn inside its capacity never touches the allocator.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	m := New[uint64](32)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			m.Put(isa.BlockID(i), uint64(i))
+		}
+		for i := 0; i < 32; i++ {
+			m.Delete(isa.BlockID(i))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocated %.1f times per run", allocs)
+	}
+}

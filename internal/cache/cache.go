@@ -112,13 +112,15 @@ func (c *Cache) Access(b isa.BlockID) *Line {
 }
 
 // Insert fills block b, evicting the LRU way if the set is full. It returns
-// the filled line and, when a valid line was displaced, its victim state.
-func (c *Cache) Insert(b isa.BlockID) (*Line, *Evicted) {
+// the filled line and, when a valid line was displaced, its victim state
+// (evicted reports whether ev is meaningful). The victim is returned by
+// value so the per-fill fast path never allocates.
+func (c *Cache) Insert(b isa.BlockID) (l *Line, ev Evicted, evicted bool) {
 	if l := c.find(b); l != nil {
 		// Refill of a resident block: treat as a touch.
 		c.clock++
 		l.lru = c.clock
-		return l, nil
+		return l, Evicted{}, false
 	}
 	s := c.setOf(b) * c.ways
 	victim := &c.lines[s]
@@ -135,13 +137,12 @@ func (c *Cache) Insert(b isa.BlockID) (*Line, *Evicted) {
 			victim = l
 		}
 	}
-	var ev *Evicted
 	if victim.valid {
-		ev = &Evicted{Block: victim.tag, Flags: victim.Flags, Aux: victim.Aux}
+		ev, evicted = Evicted{Block: victim.tag, Flags: victim.Flags, Aux: victim.Aux}, true
 	}
 	c.clock++
 	*victim = Line{tag: b, valid: true, lru: c.clock}
-	return victim, ev
+	return victim, ev, evicted
 }
 
 // Invalidate removes block b if resident, returning whether it was.

@@ -35,9 +35,9 @@ func TestHitMissEvict(t *testing.T) {
 	}
 	// Set 0 is full; inserting block 4 must evict LRU (block 0 was accessed
 	// before block 2, so 0 is LRU... after Access(0) then Access(2), LRU is 0).
-	_, ev := c.Insert(4)
-	if ev == nil || ev.Block != 0 {
-		t.Fatalf("evicted %+v, want block 0", ev)
+	_, ev, evicted := c.Insert(4)
+	if !evicted || ev.Block != 0 {
+		t.Fatalf("evicted %+v (%v), want block 0", ev, evicted)
 	}
 	if c.Contains(0) {
 		t.Fatal("block 0 still resident after eviction")
@@ -53,9 +53,9 @@ func TestLRUOrder(t *testing.T) {
 		c.Insert(b)
 	}
 	c.Access(0) // 0 becomes MRU; LRU is now 1
-	_, ev := c.Insert(10)
-	if ev == nil || ev.Block != 1 {
-		t.Fatalf("evicted %+v, want block 1", ev)
+	_, ev, evicted := c.Insert(10)
+	if !evicted || ev.Block != 1 {
+		t.Fatalf("evicted %+v (%v), want block 1", ev, evicted)
 	}
 }
 
@@ -63,23 +63,23 @@ func TestInsertResidentIsTouch(t *testing.T) {
 	c := New(1*64*2, 2)
 	c.Insert(0)
 	c.Insert(1)
-	l, ev := c.Insert(0) // refill of resident block
-	if ev != nil {
+	l, ev, evicted := c.Insert(0) // refill of resident block
+	if evicted {
 		t.Fatalf("refill evicted %+v", ev)
 	}
 	if l.Block() != 0 {
 		t.Fatalf("line holds %d", l.Block())
 	}
 	// 0 is MRU now, so inserting 2 evicts 1.
-	_, ev = c.Insert(2)
-	if ev == nil || ev.Block != 1 {
-		t.Fatalf("evicted %+v, want block 1", ev)
+	_, ev, evicted = c.Insert(2)
+	if !evicted || ev.Block != 1 {
+		t.Fatalf("evicted %+v (%v), want block 1", ev, evicted)
 	}
 }
 
 func TestLineMetadata(t *testing.T) {
 	c := New(64*4, 4)
-	l, _ := c.Insert(7)
+	l, _, _ := c.Insert(7)
 	l.Flags |= FlagPrefetched
 	l.Aux = 0xB
 	got := c.Line(7)
@@ -93,12 +93,12 @@ func TestLineMetadata(t *testing.T) {
 	}
 	// Instead, test metadata via direct eviction on a 1-way cache.
 	c1 := New(64, 1)
-	l1, _ := c1.Insert(5)
+	l1, _, _ := c1.Insert(5)
 	l1.Flags = FlagPrefetched
 	l1.Aux = 3
-	_, ev := c1.Insert(6)
-	if ev == nil || ev.Block != 5 || ev.Flags != FlagPrefetched || ev.Aux != 3 {
-		t.Fatalf("evicted metadata wrong: %+v", ev)
+	_, ev, evicted := c1.Insert(6)
+	if !evicted || ev.Block != 5 || ev.Flags != FlagPrefetched || ev.Aux != 3 {
+		t.Fatalf("evicted metadata wrong: %+v (%v)", ev, evicted)
 	}
 }
 
@@ -118,9 +118,9 @@ func TestContainsDoesNotTouchLRU(t *testing.T) {
 	c.Insert(0)
 	c.Insert(1) // LRU: 0
 	c.Contains(0)
-	_, ev := c.Insert(2)
-	if ev == nil || ev.Block != 0 {
-		t.Fatalf("Contains disturbed LRU: evicted %+v, want 0", ev)
+	_, ev, evicted := c.Insert(2)
+	if !evicted || ev.Block != 0 {
+		t.Fatalf("Contains disturbed LRU: evicted %+v (%v), want 0", ev, evicted)
 	}
 }
 
@@ -187,7 +187,7 @@ func TestMSHRFile(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	c := New(64*4, 4)
-	l, _ := c.Insert(9)
+	l, _, _ := c.Insert(9)
 	l.Flags = FlagInstruction
 	c.Reset()
 	if c.Contains(9) {
@@ -200,7 +200,7 @@ func TestReset(t *testing.T) {
 
 func TestLineBlock(t *testing.T) {
 	c := New(64*2, 2)
-	l, _ := c.Insert(77)
+	l, _, _ := c.Insert(77)
 	if l.Block() != 77 {
 		t.Fatalf("Block() = %d", l.Block())
 	}

@@ -2,8 +2,10 @@ package cache
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
+	"dnc/internal/blockmap"
 	"dnc/internal/checkpoint"
 	"dnc/internal/isa"
 )
@@ -29,49 +31,83 @@ type MSHR struct {
 // Latency returns the full fetch latency of the request.
 func (m *MSHR) Latency() uint64 { return m.ReadyCycle - m.IssueCycle }
 
+// demandSlack bounds how far AllocDemand may push occupancy past the
+// nominal capacity (it deliberately bypasses the capacity check so a
+// prefetch-saturated file cannot deadlock fetch); Audit enforces it.
+const demandSlack = 64
+
 // MSHRFile is a fixed-capacity set of in-flight misses indexed by block.
+// Entries live in an open-addressed table (internal/blockmap) presized for
+// capacity plus the demand-reservation slack, so steady-state operation
+// never allocates; the file additionally tracks the earliest outstanding
+// ReadyCycle so fill processing is O(1) on the (common) cycles where no
+// fill is due, and so the engine can fast-forward an idle core directly to
+// its next wakeup.
 type MSHRFile struct {
 	cap     int
-	entries map[isa.BlockID]*MSHR
+	entries blockmap.Map[MSHR]
 	// highWater is the peak occupancy since the last ResetHighWater; a
 	// diagnostic (not architectural state, not checkpointed).
 	highWater int
+
+	// earliest caches the minimum ReadyCycle over all entries; eDirty marks
+	// it stale (set when the minimum is freed, recomputed lazily).
+	earliest uint64
+	eDirty   bool
+
+	// scratch backs the slice returned by Ready, reused across calls.
+	scratch []MSHR
 }
 
 // NewMSHRFile returns a file with the given capacity.
 func NewMSHRFile(capacity int) *MSHRFile {
-	return &MSHRFile{cap: capacity, entries: make(map[isa.BlockID]*MSHR, capacity)}
+	f := &MSHRFile{cap: capacity}
+	f.entries = *blockmap.New[MSHR](capacity + demandSlack)
+	f.scratch = make([]MSHR, 0, capacity+demandSlack)
+	return f
 }
 
 // Cap returns the capacity.
 func (f *MSHRFile) Cap() int { return f.cap }
 
 // Len returns the number of in-flight misses.
-func (f *MSHRFile) Len() int { return len(f.entries) }
+func (f *MSHRFile) Len() int { return f.entries.Len() }
 
 // Full reports whether no further miss can be allocated.
-func (f *MSHRFile) Full() bool { return len(f.entries) >= f.cap }
+func (f *MSHRFile) Full() bool { return f.entries.Len() >= f.cap }
 
-// Lookup returns the in-flight entry for b, if any.
+// Lookup returns the in-flight entry for b, if any. The pointer is
+// invalidated by the next Alloc, AllocDemand, Free, Reset, or Restore.
 func (f *MSHRFile) Lookup(b isa.BlockID) (*MSHR, bool) {
-	m, ok := f.entries[b]
-	return m, ok
+	m := f.entries.Ptr(b)
+	return m, m != nil
+}
+
+// noteInsert folds a new entry's ready time into the cached minimum.
+func (f *MSHRFile) noteInsert(ready uint64) {
+	if f.entries.Len() > f.highWater {
+		f.highWater = f.entries.Len()
+	}
+	if f.eDirty {
+		return // recomputation will see the new entry
+	}
+	if f.entries.Len() == 1 || ready < f.earliest {
+		f.earliest = ready
+	}
 }
 
 // Alloc registers a new in-flight miss. It returns nil if the file is full
-// or the block already has an entry (callers merge via Lookup first).
+// or the block already has an entry (callers merge via Lookup first). The
+// pointer has the same validity as Lookup's.
 func (f *MSHRFile) Alloc(b isa.BlockID, issue, ready uint64, prefetch bool) *MSHR {
 	if f.Full() {
 		return nil
 	}
-	if _, ok := f.entries[b]; ok {
+	if f.entries.Contains(b) {
 		return nil
 	}
-	m := &MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready, Prefetch: prefetch}
-	f.entries[b] = m
-	if len(f.entries) > f.highWater {
-		f.highWater = len(f.entries)
-	}
+	m := f.entries.Put(b, MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready, Prefetch: prefetch})
+	f.noteInsert(ready)
 	return m
 }
 
@@ -79,14 +115,11 @@ func (f *MSHRFile) Alloc(b isa.BlockID, issue, ready uint64, prefetch bool) *MSH
 // fetch unit reserves a slot for the demand stream, so a prefetch-saturated
 // file cannot deadlock fetch. It still returns nil for duplicates.
 func (f *MSHRFile) AllocDemand(b isa.BlockID, issue, ready uint64) *MSHR {
-	if _, ok := f.entries[b]; ok {
+	if f.entries.Contains(b) {
 		return nil
 	}
-	m := &MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready}
-	f.entries[b] = m
-	if len(f.entries) > f.highWater {
-		f.highWater = len(f.entries)
-	}
+	m := f.entries.Put(b, MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready})
+	f.noteInsert(ready)
 	return m
 }
 
@@ -94,48 +127,91 @@ func (f *MSHRFile) AllocDemand(b isa.BlockID, issue, ready uint64) *MSHR {
 func (f *MSHRFile) HighWater() int { return f.highWater }
 
 // ResetHighWater restarts peak-occupancy tracking (window boundary).
-func (f *MSHRFile) ResetHighWater() { f.highWater = len(f.entries) }
+func (f *MSHRFile) ResetHighWater() { f.highWater = f.entries.Len() }
 
 // Free releases the entry for b (at fill time).
-func (f *MSHRFile) Free(b isa.BlockID) { delete(f.entries, b) }
+func (f *MSHRFile) Free(b isa.BlockID) {
+	m := f.entries.Ptr(b)
+	if m == nil {
+		return
+	}
+	if !f.eDirty && m.ReadyCycle == f.earliest {
+		f.eDirty = true
+	}
+	f.entries.Delete(b)
+}
+
+// EarliestReady returns the minimum ReadyCycle over all in-flight entries
+// and whether any entry exists. It is the MSHR contribution to a stalled
+// core's next-wakeup time.
+func (f *MSHRFile) EarliestReady() (uint64, bool) {
+	if f.entries.Len() == 0 {
+		return 0, false
+	}
+	if f.eDirty {
+		first := true
+		f.entries.Range(func(_ isa.BlockID, m MSHR) {
+			if first || m.ReadyCycle < f.earliest {
+				f.earliest = m.ReadyCycle
+				first = false
+			}
+		})
+		f.eDirty = false
+	}
+	return f.earliest, true
+}
 
 // Ready returns all entries whose fill has arrived by the given cycle, in
-// arrival order (ties broken by block ID). The order must not depend on map
-// iteration: fill processing mutates design state, so an arbitrary order
-// makes otherwise identical runs diverge. Callers free the entries after
-// applying the fill.
-func (f *MSHRFile) Ready(cycle uint64) []*MSHR {
-	var out []*MSHR
-	for _, m := range f.entries {
+// arrival order (ties broken by block ID). The order must not depend on
+// table iteration: fill processing mutates design state, so an arbitrary
+// order makes otherwise identical runs diverge. The returned entries are
+// copies backed by a buffer reused on the next Ready call; callers free the
+// originals by block after applying each fill.
+func (f *MSHRFile) Ready(cycle uint64) []MSHR {
+	if e, ok := f.EarliestReady(); !ok || e > cycle {
+		return nil
+	}
+	out := f.scratch[:0]
+	f.entries.Range(func(_ isa.BlockID, m MSHR) {
 		if m.ReadyCycle <= cycle {
 			out = append(out, m)
 		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].ReadyCycle != out[j].ReadyCycle {
-			return out[i].ReadyCycle < out[j].ReadyCycle
-		}
-		return out[i].Block < out[j].Block
 	})
+	slices.SortFunc(out, func(a, b MSHR) int {
+		if a.ReadyCycle != b.ReadyCycle {
+			if a.ReadyCycle < b.ReadyCycle {
+				return -1
+			}
+			return 1
+		}
+		if a.Block < b.Block {
+			return -1
+		}
+		if a.Block > b.Block {
+			return 1
+		}
+		return 0
+	})
+	f.scratch = out
 	return out
 }
 
 // Reset drops all in-flight entries.
-func (f *MSHRFile) Reset() { clear(f.entries) }
+func (f *MSHRFile) Reset() {
+	f.entries.Clear()
+	f.eDirty = false
+}
 
 // Snapshot serialises the file's capacity and every in-flight entry, in
 // ascending block order so the encoding is byte-deterministic.
 func (f *MSHRFile) Snapshot(e *checkpoint.Encoder) {
 	e.Begin("mshr")
 	e.Int(f.cap)
-	blocks := make([]isa.BlockID, 0, len(f.entries))
-	for b := range f.entries {
-		blocks = append(blocks, b)
-	}
+	blocks := f.entries.AppendKeys(make([]isa.BlockID, 0, f.entries.Len()))
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
 	e.Int(len(blocks))
 	for _, b := range blocks {
-		m := f.entries[b]
+		m := f.entries.Ptr(b)
 		e.U64(uint64(m.Block))
 		e.U64(m.IssueCycle)
 		e.U64(m.ReadyCycle)
@@ -160,9 +236,10 @@ func (f *MSHRFile) Restore(d *checkpoint.Decoder) error {
 			checkpoint.ErrCorrupt, cap, f.cap)
 	}
 	n := d.Count(8*3 + 3)
-	clear(f.entries)
+	f.entries.Clear()
+	f.eDirty = false
 	for i := 0; i < n; i++ {
-		m := &MSHR{
+		m := MSHR{
 			Block:      isa.BlockID(d.U64()),
 			IssueCycle: d.U64(),
 			ReadyCycle: d.U64(),
@@ -173,11 +250,12 @@ func (f *MSHRFile) Restore(d *checkpoint.Decoder) error {
 		if d.Err() != nil {
 			break
 		}
-		if _, dup := f.entries[m.Block]; dup {
+		if f.entries.Contains(m.Block) {
 			return fmt.Errorf("%w: duplicate MSHR entry for block %#x",
 				checkpoint.ErrCorrupt, uint64(m.Block))
 		}
-		f.entries[m.Block] = m
+		f.entries.Put(m.Block, m)
+		f.noteInsert(m.ReadyCycle)
 	}
 	return d.End()
 }
@@ -191,16 +269,19 @@ func (f *MSHRFile) Restore(d *checkpoint.Decoder) error {
 //   - occupancy does not exceed capacity plus the demand-reservation slack
 //     (AllocDemand deliberately bypasses the capacity check, at most one
 //     outstanding demand per fetch engine, so a generous fixed slack bounds
-//     it without false positives).
+//     it without false positives);
+//   - the cached earliest-ready time matches the actual minimum (the
+//     fast-forward wakeup must never be later than a real fill).
 //
 // Each violation is returned as its own error.
 func (f *MSHRFile) Audit(cycle uint64) []error {
 	var errs []error
-	const demandSlack = 64
-	if len(f.entries) > f.cap+demandSlack {
+	if f.entries.Len() > f.cap+demandSlack {
 		errs = append(errs, fmt.Errorf("mshr: %d entries in flight exceeds capacity %d plus demand slack %d",
-			len(f.entries), f.cap, demandSlack))
+			f.entries.Len(), f.cap, demandSlack))
 	}
+	var min uint64
+	haveMin := false
 	for _, m := range f.Ready(^uint64(0)) { // all entries, deterministic order
 		if m.ReadyCycle < m.IssueCycle {
 			errs = append(errs, fmt.Errorf("mshr: block %#x ready at %d before its issue at %d",
@@ -210,6 +291,13 @@ func (f *MSHRFile) Audit(cycle uint64) []error {
 			errs = append(errs, fmt.Errorf("mshr: block %#x overdue (ready %d < cycle %d): leaked entry",
 				uint64(m.Block), m.ReadyCycle, cycle))
 		}
+		if !haveMin || m.ReadyCycle < min {
+			min, haveMin = m.ReadyCycle, true
+		}
+	}
+	if got, ok := f.EarliestReady(); ok != haveMin || (ok && got != min) {
+		errs = append(errs, fmt.Errorf("mshr: cached earliest ready (%d, %v) disagrees with scan (%d, %v)",
+			got, ok, min, haveMin))
 	}
 	return errs
 }

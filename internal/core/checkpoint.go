@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dnc/internal/blockmap"
 	"dnc/internal/cache"
 	wl "dnc/internal/cfg"
 	"dnc/internal/checkpoint"
@@ -28,16 +29,17 @@ func (c *Core) Snapshot(e *checkpoint.Encoder) {
 	if c.pfb != nil {
 		e.Int(len(c.pfbOrder))
 		for _, b := range c.pfbOrder {
+			lat, _ := c.pfb.Get(b)
 			e.U64(uint64(b))
-			e.U64(c.pfb[b])
+			e.U64(lat)
 		}
 	}
 
-	snapshotBlockMap(e, c.prefLat, func(lat uint64) { e.U64(lat) })
+	snapshotBlockTab(e, &c.prefLat, func(lat uint64) { e.U64(lat) })
 
 	e.Bool(c.bfCache != nil)
 	if c.bfCache != nil {
-		snapshotBlockMap(e, c.bfCache, func(bf isa.BF) { e.U32(bf.Pack()) })
+		snapshotBlockTab(e, c.bfCache, func(bf isa.BF) { e.U32(bf.Pack()) })
 	}
 
 	e.U64(c.cycle)
@@ -108,16 +110,16 @@ func (c *Core) Restore(d *checkpoint.Decoder) error {
 			return fmt.Errorf("%w: prefetch buffer holds %d blocks over capacity %d",
 				checkpoint.ErrCorrupt, n, c.cf.PrefetchBufferEntries)
 		}
-		clear(c.pfb)
+		c.pfb.Clear()
 		c.pfbOrder = c.pfbOrder[:0]
 		for i := 0; i < n; i++ {
 			b := isa.BlockID(d.U64())
-			c.pfb[b] = d.U64()
+			c.pfb.Put(b, d.U64())
 			c.pfbOrder = append(c.pfbOrder, b)
 		}
 	}
 
-	if err := restoreBlockMap(d, c.prefLat, func() uint64 { return d.U64() }); err != nil {
+	if err := restoreBlockTab(d, &c.prefLat, func() uint64 { return d.U64() }); err != nil {
 		return err
 	}
 
@@ -127,7 +129,7 @@ func (c *Core) Restore(d *checkpoint.Decoder) error {
 			checkpoint.ErrCorrupt, hasBF, c.bfCache != nil)
 	}
 	if hasBF {
-		if err := restoreBlockMap(d, c.bfCache, func() isa.BF { return isa.UnpackBF(d.U32()) }); err != nil {
+		if err := restoreBlockTab(d, c.bfCache, func() isa.BF { return isa.UnpackBF(d.U32()) }); err != nil {
 			return err
 		}
 	}
@@ -182,6 +184,10 @@ func (c *Core) Restore(d *checkpoint.Decoder) error {
 	if err := c.design.Restore(d); err != nil {
 		return err
 	}
+	// Fast-forward state is not checkpointed: the first full Tick after a
+	// restore recomputes it, and every skipped cycle it stood for is
+	// equivalent to a full stalled Tick, so resumed runs stay bit-exact.
+	c.idleWake = 0
 	return d.End()
 }
 
@@ -207,26 +213,25 @@ func decodeStep(d *checkpoint.Decoder, s *wl.Step) {
 	s.DataAddr = isa.Addr(d.U64())
 }
 
-// snapshotBlockMap writes a block-keyed map in ascending key order.
-func snapshotBlockMap[V any](e *checkpoint.Encoder, m map[isa.BlockID]V, enc func(V)) {
-	keys := make([]isa.BlockID, 0, len(m))
-	for b := range m {
-		keys = append(keys, b)
-	}
+// snapshotBlockTab writes a block-keyed table in ascending key order (table
+// iteration order is history-dependent; the encoding must not be).
+func snapshotBlockTab[V any](e *checkpoint.Encoder, m *blockmap.Map[V], enc func(V)) {
+	keys := m.AppendKeys(make([]isa.BlockID, 0, m.Len()))
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	e.Int(len(keys))
 	for _, b := range keys {
 		e.U64(uint64(b))
-		enc(m[b])
+		v, _ := m.Get(b)
+		enc(v)
 	}
 }
 
-func restoreBlockMap[V any](d *checkpoint.Decoder, m map[isa.BlockID]V, dec func() V) error {
+func restoreBlockTab[V any](d *checkpoint.Decoder, m *blockmap.Map[V], dec func() V) error {
 	n := d.Count(9)
-	clear(m)
+	m.Clear()
 	for i := 0; i < n; i++ {
 		b := isa.BlockID(d.U64())
-		m[b] = dec()
+		m.Put(b, dec())
 	}
 	return d.Err()
 }
@@ -264,16 +269,16 @@ func (c *Core) Audit() []error {
 	}
 
 	if c.pfb != nil {
-		if len(c.pfb) != len(c.pfbOrder) {
+		if c.pfb.Len() != len(c.pfbOrder) {
 			errs = append(errs, fmt.Errorf("core %d: prefetch buffer map holds %d blocks but FIFO order lists %d",
-				c.cf.Tile, len(c.pfb), len(c.pfbOrder)))
+				c.cf.Tile, c.pfb.Len(), len(c.pfbOrder)))
 		}
 		if len(c.pfbOrder) > c.cf.PrefetchBufferEntries {
 			errs = append(errs, fmt.Errorf("core %d: prefetch buffer holds %d blocks over capacity %d",
 				c.cf.Tile, len(c.pfbOrder), c.cf.PrefetchBufferEntries))
 		}
 		for _, b := range c.pfbOrder {
-			if _, ok := c.pfb[b]; !ok {
+			if !c.pfb.Contains(b) {
 				errs = append(errs, fmt.Errorf("core %d: prefetch buffer FIFO lists block %#x missing from the map",
 					c.cf.Tile, uint64(b)))
 			}
@@ -284,10 +289,7 @@ func (c *Core) Audit() []error {
 		}
 	}
 
-	prefBlocks := make([]isa.BlockID, 0, len(c.prefLat))
-	for b := range c.prefLat {
-		prefBlocks = append(prefBlocks, b)
-	}
+	prefBlocks := c.prefLat.AppendKeys(make([]isa.BlockID, 0, c.prefLat.Len()))
 	sort.Slice(prefBlocks, func(i, j int) bool { return prefBlocks[i] < prefBlocks[j] })
 	for _, b := range prefBlocks {
 		line := c.l1i.Line(b)

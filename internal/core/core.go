@@ -12,6 +12,7 @@
 package core
 
 import (
+	"dnc/internal/blockmap"
 	"dnc/internal/bpred"
 	"dnc/internal/cache"
 	wl "dnc/internal/cfg"
@@ -107,17 +108,31 @@ type Core struct {
 	l1d    *cache.Cache
 	mshr   *cache.MSHRFile
 
-	// Prefetch buffer (optional): block -> fill latency.
-	pfb      map[isa.BlockID]uint64
+	// Prefetch buffer (optional): block -> fill latency, with pfbOrder
+	// tracking FIFO age (both preallocated to capacity; evictions shift in
+	// place so the hot path never allocates).
+	pfb      *blockmap.Map[uint64]
 	pfbOrder []isa.BlockID
 
 	// prefLat remembers the fill latency of prefetched L1i lines (CMAL).
-	prefLat map[isa.BlockID]uint64
+	prefLat blockmap.Map[uint64]
 
 	// Branch-footprint construction and caching (variable-length ISA).
-	bfCache map[isa.BlockID]isa.BF
+	bfCache *blockmap.Map[isa.BF]
 
 	cycle uint64
+
+	// Idle-cycle fast-forward state (not checkpointed; recomputed by the
+	// first full Tick after a restore). While cycle < idleWake, every Tick
+	// is a proven pure stall: it charges ffCause and advances the clock,
+	// mutating nothing else. See computeIdleWake for the proof obligations.
+	idleWake uint64
+	ffCause  obs.StallCause
+	// qz is the design's quiescence probe (nil disables fast-forward for
+	// designs without one); noFF force-disables the fast path (the
+	// metamorphic reference configuration).
+	qz   prefetch.Quiescer
+	noFF bool
 
 	// Fetch state.
 	step     wl.Step
@@ -175,16 +190,20 @@ func New(cf Config, stream wl.Stream, image *isa.Image, design prefetch.Design, 
 		l1i:     cache.New(cf.L1ISizeBytes, cf.L1IWays),
 		l1d:     cache.New(cf.L1DSizeBytes, cf.L1DWays),
 		mshr:    cache.NewMSHRFile(cf.L1IMSHRs),
-		prefLat: make(map[isa.BlockID]uint64),
 		rob:     make([]robEntry, cf.ROBEntries),
 		startup: true,
 	}
+	// prefLat is bounded by resident L1i lines still holding their
+	// prefetched flag; presizing to the line count makes it allocation-free.
+	c.prefLat = *blockmap.New[uint64](cf.L1ISizeBytes / isa.BlockBytes)
 	if cf.PrefetchBufferEntries > 0 {
-		c.pfb = make(map[isa.BlockID]uint64, cf.PrefetchBufferEntries)
+		c.pfb = blockmap.New[uint64](cf.PrefetchBufferEntries)
+		c.pfbOrder = make([]isa.BlockID, 0, cf.PrefetchBufferEntries)
 	}
 	if image.Mode == isa.Variable {
-		c.bfCache = make(map[isa.BlockID]isa.BF)
+		c.bfCache = blockmap.New[isa.BF](1024)
 	}
+	c.qz, _ = design.(prefetch.Quiescer)
 	design.Bind(c)
 	return c
 }
@@ -219,8 +238,7 @@ func (c *Core) L1iContains(b isa.BlockID) bool {
 		return true
 	}
 	if c.pfb != nil {
-		_, ok := c.pfb[b]
-		return ok
+		return c.pfb.Contains(b)
 	}
 	return false
 }
@@ -251,10 +269,8 @@ func (c *Core) IssuePrefetch(b isa.BlockID, buffered bool) bool {
 	if _, ok := c.mshr.Lookup(b); ok {
 		return false
 	}
-	if c.pfb != nil {
-		if _, ok := c.pfb[b]; ok {
-			return false
-		}
+	if c.pfb != nil && c.pfb.Contains(b) {
+		return false
 	}
 	if !c.image.ContainsBlock(b) {
 		// Beyond the code image: a real fetch would return garbage; the
@@ -283,7 +299,7 @@ func (c *Core) Predecode(b isa.BlockID) []isa.Branch {
 	}
 	// Variable-length ISA: boundaries come from the virtualized branch
 	// footprint fetched with the block (or read from the DV-LLC).
-	bf, ok := c.bfCache[b]
+	bf, ok := c.bfCache.Get(b)
 	if !ok {
 		bf, ok = c.uncore.LLC.LoadBF(b)
 		if !ok {
@@ -312,6 +328,19 @@ func (c *Core) PredictTaken(pc isa.Addr) bool { return c.tage.Predict(pc) }
 // Tick advances the core one cycle. Cores are ticked in tile order by the
 // runner, making shared-fabric contention deterministic.
 func (c *Core) Tick() {
+	if c.cycle < c.idleWake {
+		// Pure-stall fast path: computeIdleWake proved that every cycle up
+		// to idleWake charges ffCause and mutates nothing else, so the full
+		// fetch/retire/design machinery is skipped bit-exactly.
+		c.M.chargeStall(c.ffCause)
+		if c.hooks.Tracer != nil {
+			c.traceStall(c.ffCause)
+		}
+		c.cycle++
+		c.M.Cycles++
+		return
+	}
+
 	c.processFills()
 	c.retire()
 
@@ -343,9 +372,108 @@ func (c *Core) Tick() {
 	c.design.Tick()
 	c.cycle++
 	c.M.Cycles++
+
+	c.computeIdleWake()
 }
 
-// processFills applies completed misses.
+// computeIdleWake decides, at the end of a full Tick, whether the cycles
+// ahead are provably pure stalls, and if so how far. A cycle is a pure
+// stall when Tick would only charge one stall cause and advance the clock;
+// that holds exactly when, at the start of the cycle:
+//
+//   - nothing delivered last cycle and the charged cause was one of
+//     icache-wait, redirect bubble (mispredict or BTB), or backend (ROB
+//     full). The empty-FTQ cause is excluded: FTQGate is re-consulted every
+//     stalled cycle and may mutate design state;
+//   - the design's Tick is quiescent (Quiescer): it would mutate no state
+//     and probe nothing (probes count cache lookups);
+//   - no MSHR fill is due, no ROB head completes (retirement mutates
+//     metrics and calls design hooks), and no redirect bubble expires
+//     before the cycle. All fetch-side stall checks then re-derive the
+//     identical cause from identical state — the stalled fetchOne path
+//     reads (robCount, stallUntil, l1i residency) and mutates nothing, and
+//     never draws from the instruction stream (a pending step is always
+//     held while stalled).
+//
+// The wakeup is the earliest of those three event times; idleWake is left
+// at zero (no fast path) when any obligation fails. The window is bounded
+// by component latencies (redirect bubbles and LLC/DRAM round trips), so
+// the livelock watchdog's cadence is unaffected.
+func (c *Core) computeIdleWake() {
+	c.idleWake = 0
+	if c.noFF || c.delivered != 0 {
+		return
+	}
+	cause := c.cycleCause
+	switch cause {
+	case obs.StallICache, obs.StallMispred, obs.StallBTB, obs.StallBackend:
+	default:
+		return
+	}
+	if c.qz == nil || !c.qz.Quiescent() {
+		return
+	}
+	// c.cycle has already advanced past the tick that charged cause, so all
+	// comparisons below ask about the NEXT tick. A redirect-bubble cause is
+	// only re-derived while the bubble is live (fetchOne stalls on
+	// cycle < stallUntil); if the bubble has expired for the next tick,
+	// fetch resumes and that tick must run in full.
+	if cause == obs.StallMispred || cause == obs.StallBTB {
+		if c.stallUntil <= c.cycle {
+			return
+		}
+	}
+	wake := ^uint64(0)
+	if c.robCount > 0 {
+		wake = c.rob[c.robHead].complete
+	}
+	if er, ok := c.mshr.EarliestReady(); ok && er < wake {
+		wake = er
+	}
+	if c.cycle < c.stallUntil && c.stallUntil < wake {
+		wake = c.stallUntil
+	}
+	if wake == ^uint64(0) || wake <= c.cycle {
+		return
+	}
+	c.idleWake = wake
+	c.ffCause = cause
+}
+
+// IdleWake returns the cycle of the core's next required full Tick, or 0
+// when the next Tick cannot be skipped. While nonzero, every Tick before
+// the returned cycle is a pure stall charging a fixed cause, which lets the
+// runner advance the whole machine in one jump (FastForward).
+func (c *Core) IdleWake() uint64 { return c.idleWake }
+
+// FastForward advances the core n cycles through a pure-stall window in one
+// step, bit-exact with n individual Ticks. The caller must ensure
+// Cycle()+n <= IdleWake().
+func (c *Core) FastForward(n uint64) {
+	c.M.chargeStallN(c.ffCause, n)
+	if c.hooks.Tracer != nil {
+		// Open (or extend) the coalesced stall span exactly as the first
+		// skipped cycle's Tick would; the span closes at the next cause
+		// change, so the trace bytes cannot tell the jump happened.
+		c.traceStall(c.ffCause)
+	}
+	c.cycle += n
+	c.M.Cycles += n
+}
+
+// SetFastForward enables or disables the idle-cycle fast path (enabled by
+// default). The disabled configuration is the metamorphic reference: it
+// executes every cycle through the full tick machinery.
+func (c *Core) SetFastForward(on bool) {
+	c.noFF = !on
+	if !on {
+		c.idleWake = 0
+	}
+}
+
+// processFills applies completed misses. Ready returns entry copies (the
+// table slots may be reused by prefetches the design issues from OnFill),
+// so each original is freed before its fill is applied.
 func (c *Core) processFills() {
 	for _, m := range c.mshr.Ready(c.cycle) {
 		c.mshr.Free(m.Block)
@@ -360,23 +488,23 @@ func (c *Core) processFills() {
 		if isPrefetch && m.Buffered && c.pfb != nil {
 			c.pfbInsert(m.Block, m.Latency())
 		} else {
-			line, ev := c.l1i.Insert(m.Block)
-			if ev != nil {
+			line, ev, evicted := c.l1i.Insert(m.Block)
+			if evicted {
 				if ev.Flags&cache.FlagPrefetched != 0 {
 					c.M.UselessEvicts++
 				}
-				delete(c.prefLat, ev.Block)
-				c.design.OnEvict(*ev)
+				c.prefLat.Delete(ev.Block)
+				c.design.OnEvict(ev)
 			}
 			if isPrefetch {
 				line.Flags |= cache.FlagPrefetched
-				c.prefLat[m.Block] = m.Latency()
+				c.prefLat.Put(m.Block, m.Latency())
 				c.M.PrefetchFills++
 			}
 		}
 		if c.bfCache != nil {
 			if bf, ok := c.uncore.LLC.LoadBF(m.Block); ok {
-				c.bfCache[m.Block] = bf
+				c.bfCache.Put(m.Block, bf)
 			}
 		}
 		c.design.OnFill(m.Block, isPrefetch)
@@ -388,27 +516,28 @@ func (c *Core) processFills() {
 
 // pfbInsert adds a block to the FIFO prefetch buffer.
 func (c *Core) pfbInsert(b isa.BlockID, lat uint64) {
-	if _, ok := c.pfb[b]; ok {
+	if c.pfb.Contains(b) {
 		return
 	}
 	if len(c.pfbOrder) >= c.cf.PrefetchBufferEntries {
 		old := c.pfbOrder[0]
-		c.pfbOrder = c.pfbOrder[1:]
-		delete(c.pfb, old)
+		copy(c.pfbOrder, c.pfbOrder[1:])
+		c.pfbOrder = c.pfbOrder[:len(c.pfbOrder)-1]
+		c.pfb.Delete(old)
 		c.M.UselessEvicts++
 	}
-	c.pfb[b] = lat
+	c.pfb.Put(b, lat)
 	c.pfbOrder = append(c.pfbOrder, b)
 	c.M.PrefetchFills++
 }
 
 // pfbTake removes and returns a block's prefetch-buffer entry.
 func (c *Core) pfbTake(b isa.BlockID) (uint64, bool) {
-	lat, ok := c.pfb[b]
+	lat, ok := c.pfb.Get(b)
 	if !ok {
 		return 0, false
 	}
-	delete(c.pfb, b)
+	c.pfb.Delete(b)
 	for i, x := range c.pfbOrder {
 		if x == b {
 			c.pfbOrder = append(c.pfbOrder[:i], c.pfbOrder[i+1:]...)
@@ -440,9 +569,9 @@ func (c *Core) retire() {
 // writes it through to the DV-LLC (variable-length ISA support).
 func (c *Core) recordBF(inst isa.Inst) {
 	b := isa.BlockOf(inst.PC)
-	bf := c.bfCache[b]
+	bf, _ := c.bfCache.Get(b)
 	bf.Add(uint8(isa.ByteOffset(inst.PC)))
-	c.bfCache[b] = bf
+	c.bfCache.Put(b, bf)
 	c.uncore.LLC.StoreBF(b, bf)
 }
 
@@ -536,14 +665,15 @@ func (c *Core) demandAccess(b isa.BlockID) bool {
 	line := c.l1i.Access(b)
 	if line == nil && c.pfb != nil {
 		if lat, ok := c.pfbTake(b); ok {
-			var ev *cache.Evicted
-			line, ev = c.l1i.Insert(b)
-			if ev != nil {
+			var ev cache.Evicted
+			var evicted bool
+			line, ev, evicted = c.l1i.Insert(b)
+			if evicted {
 				if ev.Flags&cache.FlagPrefetched != 0 {
 					c.M.UselessEvicts++
 				}
-				delete(c.prefLat, ev.Block)
-				c.design.OnEvict(*ev)
+				c.prefLat.Delete(ev.Block)
+				c.design.OnEvict(ev)
 			}
 			c.M.CMALCovered += lat
 			c.M.CMALTotal += lat
@@ -553,8 +683,8 @@ func (c *Core) demandAccess(b isa.BlockID) bool {
 
 	if line != nil {
 		if line.Flags&cache.FlagPrefetched != 0 {
-			lat := c.prefLat[b]
-			delete(c.prefLat, b)
+			lat, _ := c.prefLat.Get(b)
+			c.prefLat.Delete(b)
 			c.M.CMALCovered += lat
 			c.M.CMALTotal += lat
 			c.M.UsefulPrefetches++
@@ -764,10 +894,8 @@ func (c *Core) wrongPath(pc isa.Addr) {
 		if hit {
 			continue
 		}
-		if c.pfb != nil {
-			if _, ok := c.pfb[b]; ok {
-				continue
-			}
+		if c.pfb != nil && c.pfb.Contains(b) {
+			continue
 		}
 		if _, ok := c.mshr.Lookup(b); ok {
 			continue

@@ -102,6 +102,25 @@ func (m *Metrics) chargeStall(cause obs.StallCause) {
 	}
 }
 
+// chargeStallN accounts n consecutive zero-delivery cycles to one cause
+// (the fast-forward bulk form of chargeStall).
+func (m *Metrics) chargeStallN(cause obs.StallCause, n uint64) {
+	switch cause {
+	case obs.StallICache:
+		m.StallICache += n
+	case obs.StallFTQ:
+		m.StallFTQ += n
+	case obs.StallBTB:
+		m.StallBTB += n
+	case obs.StallMispred:
+		m.StallMispred += n
+	case obs.StallBackend:
+		m.StallBackend += n
+	case obs.StallStartup:
+		m.StallStartup += n
+	}
+}
+
 // StallBreakdown returns the per-cause stall cycles indexed by
 // obs.StallCause; the StallNone slot holds BusyCycles, so the entries sum
 // to Cycles when attribution is conserved.

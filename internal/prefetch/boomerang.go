@@ -153,6 +153,13 @@ func (d *Boomerang) resumeFromFill() {
 	d.ReactiveFills++
 }
 
+// Quiescent implements Quiescer: Tick is a no-op only when the engine is
+// not mid-repair (a stalled engine probes the L1i every cycle, which counts
+// cache lookups) and the walk either has no valid PC or a full FTQ.
+func (d *Boomerang) Quiescent() bool {
+	return !d.stalled && (!d.walkValid || d.q.full())
+}
+
 // Tick implements Design: advance the walk, filling the FTQ and prefetching
 // its blocks.
 func (d *Boomerang) Tick() {

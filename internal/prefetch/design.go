@@ -65,6 +65,24 @@ type TraceSink interface {
 	TraceDiscontinuity(b isa.BlockID)
 }
 
+// Quiescer is an optional capability of a Design used by the engine's
+// idle-cycle fast-forward: Quiescent reports that the next Tick call would
+// be a provable no-op — it would mutate no design state and make no Env
+// calls (Env probes count cache lookups, so even a read-only probe is a
+// metric mutation). While a core is stalled with a quiescent design, the
+// engine may skip Tick calls entirely and jump to the core's next wakeup;
+// a wrong true here silently changes simulation results, which is why the
+// difftest metamorphic suite runs every catalog design with fast-forward
+// on and off and requires bit-identical outcomes.
+//
+// Base returns true (its Tick is the empty function), so a design that
+// overrides Tick with real work MUST also override Quiescent — the
+// inherited default would let the engine skip its ticks.
+type Quiescer interface {
+	// Quiescent reports that Tick would currently be a no-op.
+	Quiescent() bool
+}
+
 // OccupancyReporter is an optional capability of a Design: engines with a
 // fetch-target or candidate queue expose its occupancy so the observability
 // layer can sample it as a gauge.
@@ -162,6 +180,10 @@ func (*Base) OnRedirect(isa.Addr) {}
 
 // Tick implements Design.
 func (*Base) Tick() {}
+
+// Quiescent implements Quiescer: the no-op Tick above is always a no-op.
+// Designs that override Tick must override this too (see Quiescer).
+func (*Base) Quiescent() bool { return true }
 
 // StorageBits implements Design.
 func (*Base) StorageBits() int { return 0 }

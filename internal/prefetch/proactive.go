@@ -290,6 +290,10 @@ func (p *Proactive) QueueDrops() (seq, dis, rlu uint64) {
 	return p.seqQ.Drops, p.disQ.Drops, p.rluQ.Drops
 }
 
+// Quiescent implements Quiescer: with all three queues empty every step of
+// Tick is a failed pop, mutating nothing and probing nothing.
+func (p *Proactive) Quiescent() bool { return p.QueueOccupancy() == 0 }
+
 // Tick implements Design: two SeqQueue steps, one DisQueue step, and up to
 // two RLUQueue steps (two L1i ports) per cycle.
 func (p *Proactive) Tick() {

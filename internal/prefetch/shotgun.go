@@ -335,6 +335,13 @@ func (d *Shotgun) proactivePrefill(b isa.BlockID) {
 	}
 }
 
+// Quiescent implements Quiescer: Tick is a no-op only when the engine is
+// not mid-repair (a stalled engine probes the L1i every cycle, which counts
+// cache lookups) and the walk either has no valid PC or a full FTQ.
+func (d *Shotgun) Quiescent() bool {
+	return !d.stalled && (!d.walkValid || d.q.full())
+}
+
 // Tick implements Design.
 func (d *Shotgun) Tick() {
 	env := d.E()

@@ -270,6 +270,19 @@ func (s *Shim) OnRedirect(pc isa.Addr) { s.inner.OnRedirect(pc) }
 // Tick implements Design.
 func (s *Shim) Tick() { s.inner.Tick() }
 
+// Quiescent forwards the inner design's fast-forward eligibility
+// (prefetch.Quiescer). Without this forwarding, shimmed runs would never
+// fast-forward and the metamorphic fast-forward-vs-reference tests would be
+// vacuous. The shim itself adds no per-cycle state: its checks fire only on
+// design hooks (OnDemand/OnRetire/...), all of which are frozen during a
+// pure-stall window, so the shim is quiescent whenever the inner design is.
+func (s *Shim) Quiescent() bool {
+	if q, ok := s.inner.(prefetch.Quiescer); ok {
+		return q.Quiescent()
+	}
+	return false
+}
+
 // StorageBits implements Design.
 func (s *Shim) StorageBits() int { return s.inner.StorageBits() }
 
@@ -375,6 +388,9 @@ type Options struct {
 	CheckpointEvery uint64
 	CheckpointPath  string
 	ResumeFrom      string
+	// DisableFastForward passes through to the simulator: the reference
+	// configuration for the metamorphic fast-forward equivalence tests.
+	DisableFastForward bool
 }
 
 // Report is the outcome of one differential run.
@@ -459,16 +475,17 @@ func Run(ctx context.Context, o Options) (sim.Result, *Report, error) {
 
 	var shims []*Shim
 	rc := sim.RunConfig{
-		Workload:        o.Workload,
-		Cores:           o.Cores,
-		WarmCycles:      o.Warm,
-		MeasureCycles:   o.Measure,
-		Seed:            o.Seed,
-		Core:            cc,
-		Obs:             &obs.Config{TraceEvents: trace},
-		CheckpointEvery: o.CheckpointEvery,
-		CheckpointPath:  o.CheckpointPath,
-		ResumeFrom:      o.ResumeFrom,
+		Workload:           o.Workload,
+		Cores:              o.Cores,
+		WarmCycles:         o.Warm,
+		MeasureCycles:      o.Measure,
+		Seed:               o.Seed,
+		Core:               cc,
+		Obs:                &obs.Config{TraceEvents: trace},
+		CheckpointEvery:    o.CheckpointEvery,
+		CheckpointPath:     o.CheckpointPath,
+		ResumeFrom:         o.ResumeFrom,
+		DisableFastForward: o.DisableFastForward,
 		NewDesign: func() prefetch.Design {
 			i := len(shims)
 			s := NewShim(o.NewDesign(), oracle.New(prog, sim.WalkerSeed(o.Seed, i)), i, o.Strict)

@@ -59,6 +59,61 @@ func TestCrossDesignStreamIdentity(t *testing.T) {
 	}
 }
 
+// TestFastForwardDifferentialIdentity is the engine's metamorphic
+// equivalence suite: for each design shape (the Base-default baseline, the
+// Proactive queue family, boomerang, shotgun) and two seeds, a run with
+// idle-cycle fast-forward and the full-tick reference must both pass the
+// oracle lockstep, observe identical digest trails, and report identical
+// aggregate metrics. Running through the differential harness rather than
+// plain sim.Run matters twice over: the shims verify the retired stream
+// instruction by instruction, and difftest always enables the
+// observability layer, so fast-forward is exercised under tracing and gauge
+// sampling too.
+func TestFastForwardDifferentialIdentity(t *testing.T) {
+	byName := map[string]prefetch.CatalogEntry{}
+	for _, e := range prefetch.Catalog() {
+		byName[e.Name] = e
+	}
+	for _, name := range []string{"baseline", "PIF", "boomerang", "shotgun"} {
+		entry, ok := byName[name]
+		if !ok {
+			t.Fatalf("catalog entry %q missing", name)
+		}
+		for seed := int64(1); seed <= 2; seed++ {
+			o := testOptions(entry, seed)
+			run := func(disable bool) *Report {
+				oo := o
+				oo.DisableFastForward = disable
+				res, rep, err := Run(context.Background(), oo)
+				if err != nil {
+					t.Fatalf("%s seed %d (disableFF=%v): %v", name, seed, disable, err)
+				}
+				if !rep.Ok() {
+					t.Fatalf("%s seed %d (disableFF=%v) diverged from the oracle:\n%s", name, seed, disable, rep)
+				}
+				rep.Retired = res.M.Retired // fold a timing-sensitive metric into the comparison
+				return rep
+			}
+			fast, ref := run(false), run(true)
+			if fast.Retired != ref.Retired || fast.Transitions != ref.Transitions {
+				t.Errorf("%s seed %d: fast-forward changed timing-visible counts (retired %d vs %d, transitions %d vs %d)",
+					name, seed, fast.Retired, ref.Retired, fast.Transitions, ref.Transitions)
+			}
+			for i := range fast.DigestTrail {
+				a, b := fast.DigestTrail[i], ref.DigestTrail[i]
+				if len(a) != len(b) {
+					t.Fatalf("%s seed %d core %d: digest trail lengths differ (%d vs %d)", name, seed, i, len(a), len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("%s seed %d core %d: digest checkpoint %d differs (%#x vs %#x)", name, seed, i, j, a[j], b[j])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestPerfectL1iUpperBounds checks the ordering metamorphic property: a
 // perfect L1i (every fetch hits) upper-bounds the IPC of every real design —
 // instruction prefetching can only approach it, never beat it.

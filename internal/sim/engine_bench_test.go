@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"dnc/internal/core"
+	"dnc/internal/isa"
+	"dnc/internal/prefetch"
+	"dnc/internal/workloads"
+)
+
+// Engine regression benchmarks: the default 4-core paper configuration
+// (Web-Zeus, 200K warm + 200K measure) under the no-prefetch baseline and
+// the paper's headline SN4L+Dis+BTB design. scripts/benchdiff.sh compares
+// their ns/op against the committed BENCH_engine.json and fails CI on
+// regressions. Run with:
+//
+//	go test ./internal/sim -bench BenchmarkEngine -benchtime 3x -count 3
+func benchEngine(b *testing.B, designName string) {
+	b.Helper()
+	var entry prefetch.CatalogEntry
+	for _, e := range prefetch.Catalog() {
+		if e.Name == designName {
+			entry = e
+		}
+	}
+	if entry.New == nil {
+		b.Fatalf("catalog entry %q missing", designName)
+	}
+	cc := core.DefaultConfig()
+	cc.PrefetchBufferEntries = entry.PrefetchBufferEntries
+	rc := RunConfig{
+		Workload:  workloads.Params("Web-Zeus", isa.Fixed),
+		NewDesign: entry.New,
+		Cores:     4,
+		Core:      cc,
+		Seed:      1,
+	}
+	Program(rc.Workload) // generation cost is one-time; keep it out of the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Run(rc)
+		if r.M.Retired == 0 {
+			b.Fatal("no instructions retired")
+		}
+	}
+}
+
+func BenchmarkEngineBaseline(b *testing.B) { benchEngine(b, "baseline") }
+
+func BenchmarkEngineSN4LDisBTB(b *testing.B) { benchEngine(b, "SN4L+Dis+BTB") }

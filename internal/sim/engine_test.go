@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"dnc/internal/core"
+	"dnc/internal/isa"
+	"dnc/internal/prefetch"
+	"dnc/internal/workloads"
+)
+
+// TestTickZeroAllocs is the hot-structure contract: once the machine reaches
+// steady state, advancing the default 4-core baseline configuration performs
+// zero heap allocations per tick. Fast-forward is disabled so the test
+// exercises the full fetch/retire/fill machinery, not the cheap stall path.
+func TestTickZeroAllocs(t *testing.T) {
+	rc := applyDefaults(RunConfig{
+		Workload:  workloads.Params("Web-Zeus", isa.Fixed),
+		NewDesign: func() prefetch.Design { return prefetch.NewBaseline(2048) },
+	})
+	m, err := buildMachine(rc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+	for _, c := range m.cores {
+		c.SetFastForward(false)
+	}
+	for i := 0; i < 50_000; i++ {
+		for _, c := range m.cores {
+			c.Tick()
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 1_000; i++ {
+			for _, c := range m.cores {
+				c.Tick()
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ticking allocated %.2f times per 4000 core-ticks; want 0", allocs)
+	}
+}
+
+// ffDesigns are the metamorphic coverage set: one design per Quiescent
+// implementation shape — the Base default (baseline, no Tick override), the
+// Proactive queue family, and the two FTQ-directed designs with their own
+// tick machinery (boomerang stalls, shotgun's prefetch buffer).
+func ffDesigns() map[string]func() prefetch.Design {
+	return map[string]func() prefetch.Design{
+		"baseline":  func() prefetch.Design { return prefetch.NewBaseline(2048) },
+		"proactive": func() prefetch.Design { return prefetch.NewProactive(prefetch.DefaultProactiveConfig()) },
+		"boomerang": func() prefetch.Design { return prefetch.NewBoomerang(prefetch.DefaultBoomerangConfig()) },
+		"shotgun":   func() prefetch.Design { return prefetch.NewShotgun(prefetch.DefaultShotgunDesignConfig()) },
+	}
+}
+
+// TestFastForwardTransparent is the tentpole's metamorphic property: runs
+// with the idle-cycle fast path on and off produce identical results —
+// every metric counter — and byte-identical checkpoint files, across
+// designs and seeds.
+func TestFastForwardTransparent(t *testing.T) {
+	for name, nd := range ffDesigns() {
+		for seed := int64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				run := func(disable bool) (Result, []byte) {
+					rc := checkpointConfig(t, nd)
+					rc.Seed = seed
+					rc.DisableFastForward = disable
+					if name == "shotgun" {
+						rc.Core = core.DefaultConfig()
+						rc.Core.PrefetchBufferEntries = 64
+					}
+					res, err := RunChecked(context.Background(), rc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ckpt, err := os.ReadFile(rc.CheckpointPath)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res, ckpt
+				}
+				fast, fastCkpt := run(false)
+				ref, refCkpt := run(true)
+				if got, want := fingerprint(t, fast), fingerprint(t, ref); got != want {
+					t.Errorf("seed %d: fast-forward changed the result\nfast: %s\nref:  %s", seed, got, want)
+				}
+				if string(fastCkpt) != string(refCkpt) {
+					t.Errorf("seed %d: fast-forward changed the checkpoint bytes (%d vs %d bytes)",
+						seed, len(fastCkpt), len(refCkpt))
+				}
+			})
+		}
+	}
+}
+
+// TestFastForwardSkipsCycles guards against the fast path silently never
+// engaging (every guard in computeIdleWake failing would make the
+// transparency test vacuous): a baseline run must take at least one
+// machine-level jump.
+func TestFastForwardSkipsCycles(t *testing.T) {
+	rc := checkedConfig()
+	m, err := buildMachine(applyDefaults(rc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+	jumps := 0
+	total := applyDefaults(rc).WarmCycles
+	for m.done < total {
+		if n := m.skipLen(total); n > 0 {
+			for _, c := range m.cores {
+				c.FastForward(n)
+			}
+			m.watch.cycle += n
+			m.done += n
+			jumps++
+		} else {
+			for _, c := range m.cores {
+				c.Tick()
+			}
+			m.watch.cycle++
+			m.done++
+		}
+	}
+	if jumps == 0 {
+		t.Fatal("no machine-level fast-forward jump in 20K cycles of a 2-core baseline run")
+	}
+}
+
+// TestRunSamplesParallel checks the parallel sampler: results arrive in seed
+// order and match a sequential reference run for run.
+func TestRunSamplesParallel(t *testing.T) {
+	rc := checkedConfig()
+	rc.WarmCycles = 5_000
+	rc.MeasureCycles = 5_000
+	got, err := RunSamples(rc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i := range got {
+		rc.Seed = int64(i + 1)
+		want := Run(rc)
+		if fingerprint(t, got[i]) != fingerprint(t, want) {
+			t.Errorf("sample %d differs from its sequential run", i)
+		}
+	}
+}
+
+// TestRunSamplesSurfacesFailures checks that a failing configuration comes
+// back as an error (not a panic) and does not poison the other samples.
+func TestRunSamplesSurfacesFailures(t *testing.T) {
+	rc := checkedConfig()
+	rc.NewDesign = nil // fails validation
+	_, err := RunSamples(rc, 2)
+	if err == nil {
+		t.Fatal("expected an error from an invalid config")
+	}
+}

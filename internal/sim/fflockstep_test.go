@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestFastForwardLockstep ticks a fast-forwarding machine (cheap per-core
+// ticks only; no machine-level jumps, so every cycle is observable) against
+// a full-tick reference cycle by cycle, comparing the complete metric
+// vector each cycle. Unlike the end-to-end transparency test this pins a
+// divergence to the exact cycle it first appears, which is what makes
+// fast-forward bugs debuggable (this caught the bubble-expiry-at-next-cycle
+// off-by-one during development).
+func TestFastForwardLockstep(t *testing.T) {
+	rc := applyDefaults(checkedConfig())
+	mFast, err := buildMachine(rc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mFast.close()
+	mRef, err := buildMachine(rc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mRef.close()
+	for _, c := range mRef.cores {
+		c.SetFastForward(false)
+	}
+	for cyc := 0; cyc < 40_000; cyc++ {
+		for _, c := range mFast.cores {
+			c.Tick()
+		}
+		for _, c := range mRef.cores {
+			c.Tick()
+		}
+		for i := range mFast.cores {
+			f, r := mFast.cores[i], mRef.cores[i]
+			if f.M != r.M {
+				t.Fatalf("cycle %d core %d: metrics diverged\nfast: %+v\nref:  %+v\nfast idleWake=%d diag=%+v\nref  diag=%+v",
+					cyc, i, f.M, r.M, f.IdleWake(), f.Diag(), r.Diag())
+			}
+		}
+	}
+}

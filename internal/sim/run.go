@@ -295,6 +295,11 @@ func buildMachine(rc RunConfig, mk streamMaker) (*machine, error) {
 		m.designs[i] = d
 		m.cores[i] = core.New(cc, stream, m.prog.Image, d, m.uncore)
 	}
+	if rc.DisableFastForward {
+		for _, c := range m.cores {
+			c.SetFastForward(false)
+		}
+	}
 	m.watch = newWatchdog(rc, m.cores, m.uncore)
 	if rc.Obs != nil {
 		m.obs = newMachineObs(*rc.Obs)
@@ -338,14 +343,24 @@ func (m *machine) run(ctx context.Context) error {
 
 // runPhase advances all cores until the current window holds total cycles,
 // polling the context, the watchdog, and the checkpoint cadence every
-// checkEvery cycles.
+// checkEvery cycles. When every core is provably idle (see skipLen) the
+// whole machine jumps to the earliest wakeup instead of ticking through the
+// stall cycle by cycle.
 func (m *machine) runPhase(ctx context.Context, total uint64) error {
 	for m.done < total {
-		for _, c := range m.cores {
-			c.Tick()
+		if n := m.skipLen(total); n > 0 {
+			for _, c := range m.cores {
+				c.FastForward(n)
+			}
+			m.watch.cycle += n
+			m.done += n
+		} else {
+			for _, c := range m.cores {
+				c.Tick()
+			}
+			m.watch.cycle++
+			m.done++
 		}
-		m.watch.cycle++
-		m.done++
 		if m.obs != nil && m.watch.cycle%m.obs.sampleEvery == 0 {
 			m.obs.sample(m)
 		}
@@ -369,6 +384,43 @@ func (m *machine) runPhase(ctx context.Context, total uint64) error {
 		}
 	}
 	return nil
+}
+
+// skipLen returns how many cycles the whole machine may fast-forward right
+// now: the distance to the earliest per-core wakeup when every core reports
+// a pure-stall window (core.IdleWake), zero otherwise. The jump is clamped
+// so the machine lands exactly on every boundary the cycle-by-cycle loop
+// would have observed — the window end, the checkEvery poll (context,
+// watchdog, checkpoint cadence), and the observability sampling cadence —
+// which keeps watchdog state, checkpoint bytes, and sampled gauge
+// histograms bit-identical to a run without fast-forward. (Gauges are
+// additionally frozen during a pure-stall window, so sampling inside the
+// window reads the same values it would have cycle by cycle.)
+func (m *machine) skipLen(total uint64) uint64 {
+	cur := m.cores[0].Cycle()
+	wake := ^uint64(0)
+	for _, c := range m.cores {
+		w := c.IdleWake()
+		if w <= cur {
+			return 0
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	n := wake - cur
+	if r := total - m.done; n > r {
+		n = r
+	}
+	if r := checkEvery - m.watch.cycle%checkEvery; n > r {
+		n = r
+	}
+	if m.obs != nil {
+		if r := m.obs.sampleEvery - m.watch.cycle%m.obs.sampleEvery; n > r {
+			n = r
+		}
+	}
+	return n
 }
 
 // dumpLivelock writes a post-mortem snapshot next to the configured

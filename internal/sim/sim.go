@@ -7,7 +7,9 @@
 package sim
 
 import (
-	"fmt"
+	"context"
+	"errors"
+	"runtime"
 	"sync"
 
 	wl "dnc/internal/cfg"
@@ -63,6 +65,12 @@ type RunConfig struct {
 	// sampling, folded into Result.Obs. Observability is diagnostic state:
 	// it is not checkpointed and does not perturb timing.
 	Obs *obs.Config
+	// DisableFastForward forces every cycle through the full tick machinery,
+	// disabling the idle-cycle fast path (on by default). Fast-forward is
+	// bit-exact by construction — identical retired streams, metrics, traces,
+	// and checkpoint bytes — so this exists only as the metamorphic reference
+	// for the equivalence tests and for engine debugging.
+	DisableFastForward bool
 }
 
 // Result is the outcome of one simulation run.
@@ -90,25 +98,22 @@ type Result struct {
 
 // progCache memoizes generated programs; generation is deterministic in the
 // parameters, and programs are immutable once built.
-var progCache sync.Map // key string -> *wl.Program
+var progCache sync.Map // key wl.Params -> *wl.Program
 
-func cacheKey(p wl.Params) string {
-	// Every Params field participates: generation is deterministic in the
-	// full parameter set, so any two distinct sets must get distinct cache
-	// entries. (An earlier key of just Name|Mode|Footprint|GenSeed silently
-	// served the wrong program to ad-hoc parameter sets — e.g. the fuzzing
-	// harness — that varied only a branch-mix knob.)
-	return fmt.Sprintf("%#v", p)
-}
-
-// Program returns the (cached) generated program for the parameters.
+// Program returns the (cached) generated program for the parameters. The
+// Params value itself is the cache key — every field participates, since
+// generation is deterministic in the full parameter set, so any two
+// distinct sets must get distinct cache entries. (An earlier key of just
+// Name|Mode|Footprint|GenSeed silently served the wrong program to ad-hoc
+// parameter sets — e.g. the fuzzing harness — that varied only a branch-mix
+// knob; a later fmt.Sprintf("%#v") key fixed that but cost a multi-KB
+// formatting pass per lookup.)
 func Program(p wl.Params) *wl.Program {
-	key := cacheKey(p)
-	if v, ok := progCache.Load(key); ok {
+	if v, ok := progCache.Load(p); ok {
 		return v.(*wl.Program)
 	}
 	prog := wl.Generate(p)
-	progCache.Store(key, prog)
+	progCache.Store(p, prog)
 	return prog
 }
 
@@ -123,14 +128,34 @@ func Run(rc RunConfig) Result {
 	return r
 }
 
-// RunSamples executes n independently seeded runs of the same configuration.
-func RunSamples(rc RunConfig, n int) []Result {
+// RunSamples executes n independently seeded runs of the same configuration
+// concurrently, bounded by GOMAXPROCS workers, and returns the results in
+// seed order (seed i+1 at index i). Runs are independent machines, so
+// parallel execution is bit-exact with sequential; any failed run surfaces
+// as a *RunError in the joined error (successful samples still fill their
+// slots). Sampled runs must not set CheckpointPath — concurrent samples
+// would race on the one snapshot file (use per-sample configs and
+// RunChecked directly for that). This is deliberately an in-package worker
+// pool rather than the sweep engine's (internal/sim/runner): runner imports
+// sim, so sim cannot use it without an import cycle.
+func RunSamples(rc RunConfig, n int) ([]Result, error) {
 	out := make([]Result, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		rc.Seed = int64(i + 1)
-		out[i] = Run(rc)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := rc
+			c.Seed = int64(i + 1)
+			out[i], errs[i] = RunChecked(context.Background(), c)
+		}(i)
 	}
-	return out
+	wg.Wait()
+	return out, errors.Join(errs...)
 }
 
 // ---- derived cross-run metrics ----

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# benchdiff.sh — engine benchmark regression gate.
+#
+# Runs the internal/sim engine benchmarks (BenchmarkEngineBaseline,
+# BenchmarkEngineSN4LDisBTB: the default 4-core 200K+200K configuration
+# under the no-prefetch baseline and the paper's headline design), takes the
+# minimum ns/op over -count repetitions (the minimum is the least noisy
+# wall-clock estimator on shared CI runners), and compares each against the
+# committed reference in BENCH_engine.json. A benchmark more than
+# BENCH_THRESHOLD_PCT percent slower than its reference fails the script.
+#
+# Usage:
+#   scripts/benchdiff.sh            # compare against BENCH_engine.json
+#   scripts/benchdiff.sh -update    # re-measure and rewrite BENCH_engine.json
+#
+# Environment:
+#   BENCH_THRESHOLD_PCT   allowed ns/op regression in percent (default 25).
+#                         CI machines differ from the reference machine, so
+#                         the gate is deliberately loose: it catches
+#                         algorithmic regressions (a lost fast path, a
+#                         reintroduced per-tick allocation), not noise.
+#   BENCH_COUNT           benchmark repetitions (default 3)
+#   BENCH_TIME            go test -benchtime value (default 3x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REF=BENCH_engine.json
+THRESHOLD=${BENCH_THRESHOLD_PCT:-25}
+COUNT=${BENCH_COUNT:-3}
+BENCHTIME=${BENCH_TIME:-3x}
+MODE=${1:-check}
+
+OUT=$(go test ./internal/sim/ -run '^$' -bench BenchmarkEngine \
+	-benchtime "$BENCHTIME" -count "$COUNT" 2>&1) || {
+	echo "$OUT"
+	echo "benchdiff: benchmark run failed" >&2
+	exit 1
+}
+echo "$OUT"
+
+# Minimum ns/op and allocs/op per benchmark, from lines like:
+#   BenchmarkEngineBaseline   3   142028384 ns/op   19336872 B/op   32945 allocs/op
+min_ns() {
+	echo "$OUT" | awk -v name="$1" \
+		'$1 ~ "^"name"(-[0-9]+)?$" { if (min == "" || $3 < min) min = $3 } END { print min }'
+}
+min_allocs() {
+	echo "$OUT" | awk -v name="$1" \
+		'$1 ~ "^"name"(-[0-9]+)?$" { if (min == "" || $7 < min) min = $7 } END { print min }'
+}
+
+BENCHES="BenchmarkEngineBaseline BenchmarkEngineSN4LDisBTB"
+
+if [ "$MODE" = "-update" ]; then
+	{
+		echo '{'
+		echo '  "note": "engine benchmark reference: min ns/op over '"$COUNT"'x -benchtime '"$BENCHTIME"' runs; update with scripts/benchdiff.sh -update",'
+		echo '  "benchmarks": {'
+		sep=''
+		for b in $BENCHES; do
+			ns=$(min_ns "$b")
+			al=$(min_allocs "$b")
+			[ -n "$ns" ] || { echo "benchdiff: no result for $b" >&2; exit 1; }
+			printf '%s    "%s": {"ns_per_op": %s, "allocs_per_op": %s}' "$sep" "$b" "$ns" "$al"
+			sep=$',\n'
+		done
+		printf '\n  }\n}\n'
+	} >"$REF"
+	echo "benchdiff: wrote $REF"
+	exit 0
+fi
+
+[ -f "$REF" ] || { echo "benchdiff: $REF missing (run scripts/benchdiff.sh -update)" >&2; exit 1; }
+
+fail=0
+for b in $BENCHES; do
+	ns=$(min_ns "$b")
+	[ -n "$ns" ] || { echo "benchdiff: no result for $b" >&2; exit 1; }
+	ref=$(sed -n 's/.*"'"$b"'": {"ns_per_op": \([0-9]*\),.*/\1/p' "$REF")
+	[ -n "$ref" ] || { echo "benchdiff: $b missing from $REF" >&2; exit 1; }
+	limit=$((ref + ref * THRESHOLD / 100))
+	pct=$(( (ns - ref) * 100 / ref ))
+	if [ "$ns" -gt "$limit" ]; then
+		echo "benchdiff: FAIL $b: $ns ns/op is ${pct}% over reference $ref (limit +${THRESHOLD}%)"
+		fail=1
+	else
+		echo "benchdiff: ok   $b: $ns ns/op vs reference $ref (${pct}%, limit +${THRESHOLD}%)"
+	fi
+done
+exit $fail
