@@ -1,0 +1,81 @@
+// Command dncserved is the sweep-as-a-service daemon: a long-running,
+// multi-client job server over the simulation engine.
+//
+// Usage:
+//
+//	dncserved [-addr localhost:8080] [-data dncserved-data] [-workers 2]
+//	          [-cell-jobs N] [-queue-cap 64] [-retries 2] [-cell-timeout 10m]
+//	          [-job-timeout 0] [-checkpoint-every N] [-max-cells 4096]
+//	          [-drain-timeout 30s]
+//
+// Clients POST sweep specs to /v1/jobs and stream results from
+// /v1/jobs/{id}/results (see README "Sweep as a service"). Identical cells
+// — same workload, design, geometry, and seed — are served from a
+// persistent content-addressed cache: runs are deterministic, so a cache
+// hit is bit-exact and free. Worker crashes recover through the runner's
+// journal and checkpoint machinery; SIGINT/SIGTERM triggers a graceful
+// drain that stops admissions, checkpoints in-flight work, flushes
+// persistent state, and exits 0 with every accepted job either completed
+// or durably queued for the next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dnc/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "HTTP listen address")
+	data := flag.String("data", "dncserved-data", "persistent state directory (jobs, result cache, dead letters)")
+	workers := flag.Int("workers", 2, "jobs executed concurrently")
+	cellJobs := flag.Int("cell-jobs", 0, "concurrently simulating cells per job (0 = GOMAXPROCS)")
+	queueCap := flag.Int("queue-cap", 64, "max queued jobs before submissions get 429 + Retry-After")
+	retries := flag.Int("retries", 2, "per-cell retries on transient failure (jittered exponential backoff)")
+	cellTimeout := flag.Duration("cell-timeout", 10*time.Minute, "per-attempt wall-clock budget per cell (0 = none)")
+	jobTimeout := flag.Duration("job-timeout", 0, "whole-job wall-clock budget (0 = none)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "mid-cell snapshot cadence in simulated cycles (0 = default)")
+	maxCells := flag.Int("max-cells", 4096, "max cells one submitted spec may expand to")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGINT/SIGTERM")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		DataDir:         *data,
+		Workers:         *workers,
+		CellJobs:        *cellJobs,
+		QueueCap:        *queueCap,
+		Retries:         *retries,
+		CellTimeout:     *cellTimeout,
+		JobTimeout:      *jobTimeout,
+		CheckpointEvery: *ckptEvery,
+		MaxCellsPerJob:  *maxCells,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dncserved: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "dncserved: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dncserved: serving on http://%s (data %s)\n", srv.Addr(), *data)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	<-ctx.Done()
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Fprintln(os.Stderr, "dncserved: draining (in-flight cells checkpoint; accepted jobs persist)")
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dncserved: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "dncserved: drained cleanly")
+}

@@ -1,0 +1,84 @@
+package httpx
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestNewServerAppliesTimeouts(t *testing.T) {
+	srv := NewServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout != ReadHeaderTimeout {
+		t.Fatalf("ReadHeaderTimeout = %v, want %v", srv.ReadHeaderTimeout, ReadHeaderTimeout)
+	}
+	if srv.IdleTimeout != IdleTimeout {
+		t.Fatalf("IdleTimeout = %v, want %v", srv.IdleTimeout, IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatalf("WriteTimeout = %v, want 0 (streaming responses)", srv.WriteTimeout)
+	}
+}
+
+// TestShutdownBoundedByContext proves a drain cannot hang on a client that
+// never finishes reading its response: the context expires and Shutdown
+// force-closes the connection instead of waiting forever.
+func TestShutdownBoundedByContext(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-release // hold the request open past the drain deadline
+	})
+	srv := NewServer(mux)
+	go srv.Serve(ln)
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/hang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = Shutdown(ctx, srv)
+	close(release)
+	if err == nil {
+		t.Fatal("Shutdown returned nil despite a hung in-flight request")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("Shutdown took %v, want bounded by the 50ms context", took)
+	}
+}
+
+func TestShutdownCleanWhenIdle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	srv := NewServer(mux)
+	go srv.Serve(ln)
+	resp, err := http.Get("http://" + ln.Addr().String() + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := Shutdown(ctx, srv); err != nil {
+		t.Fatalf("Shutdown = %v, want nil", err)
+	}
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"dnc/internal/sim/runner"
+)
+
+// cacheEntry is one JSONL line of the result cache: a completed cell's
+// result under its content address, plus the digest of the result bytes so
+// bit-exactness of later hits is checkable without re-serialization.
+type cacheEntry struct {
+	// Digest is the cell-key content address (cellSpec.Digest).
+	Digest string `json:"digest"`
+	// Key is the canonical cell key, stored for human forensics.
+	Key string `json:"key"`
+	// ResultDigest is ResultDigest(Result) at insertion time.
+	ResultDigest string `json:"result_digest"`
+	Result       *runner.ResultJSON `json:"result"`
+}
+
+// resultCache is the persistent, content-addressed dedup store shared by
+// every job the server runs. It follows the journal's crash discipline:
+// append-only JSONL, one fsync per insert, a torn trailing line (process
+// killed mid-append) discarded on load, and appends always starting on a
+// fresh line. Entries are immutable — deterministic runs mean a digest can
+// only ever map to one result, so the first insert wins and duplicates are
+// dropped.
+type resultCache struct {
+	mu       sync.Mutex
+	f        *os.File
+	byDigest map[string]*cacheEntry
+	hits     uint64
+	inserts  uint64
+	errs     []error
+}
+
+// openResultCache loads an existing cache file (tolerating a torn tail) and
+// opens it for appending.
+func openResultCache(path string) (*resultCache, error) {
+	c := &resultCache{byDigest: make(map[string]*cacheEntry)}
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e cacheEntry
+			if json.Unmarshal(line, &e) != nil || e.Digest == "" || e.Result == nil {
+				continue // torn or foreign line: the cell simply re-runs
+			}
+			if _, dup := c.byDigest[e.Digest]; !dup {
+				ec := e
+				c.byDigest[e.Digest] = &ec
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("service: reading result cache %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("service: opening result cache %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening result cache %s for append: %w", path, err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], fi.Size()-1); err == nil && last[0] != '\n' {
+			f.Write([]byte("\n"))
+		}
+	}
+	c.f = f
+	return c, nil
+}
+
+// lookup returns the entry for a cell digest, counting a dedup hit. Use get
+// for stat-neutral reads (result streaming).
+func (c *resultCache) lookup(digest string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byDigest[digest]
+	if ok {
+		c.hits++
+	}
+	return e, ok
+}
+
+// get returns the entry without touching the hit statistics.
+func (c *resultCache) get(digest string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byDigest[digest]
+	return e, ok
+}
+
+// insert stores a freshly computed result under the cell's content address,
+// appending and fsyncing one JSONL line so the entry survives kill -9. A
+// digest already present is left untouched (first insert wins). The
+// returned entry carries the result digest the caller reports upstream.
+func (c *resultCache) insert(cell cellSpec, r *runner.ResultJSON) *cacheEntry {
+	digest := cell.Digest()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byDigest[digest]; ok {
+		return e
+	}
+	e := &cacheEntry{
+		Digest:       digest,
+		Key:          cell.Key(),
+		ResultDigest: ResultDigest(r),
+		Result:       r,
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		c.errs = append(c.errs, fmt.Errorf("service: encoding cache entry %s: %w", cell.Key(), err))
+		return e // still usable in memory this process
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		c.errs = append(c.errs, fmt.Errorf("service: cache write %s: %w", cell.Key(), err))
+	} else if err := c.f.Sync(); err != nil {
+		c.errs = append(c.errs, fmt.Errorf("service: cache sync: %w", err))
+	}
+	c.byDigest[digest] = e
+	c.inserts++
+	return e
+}
+
+// stats reports entry count, dedup hits, and inserts this process.
+func (c *resultCache) stats() (entries int, hits, inserts uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byDigest), c.hits, c.inserts
+}
+
+// close closes the backing file; write errors accumulated over the run are
+// joined into the returned error.
+func (c *resultCache) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	errs = append(errs, c.errs...)
+	if c.f != nil {
+		if err := c.f.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		c.f = nil
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("service: result cache: %v", errs)
+}

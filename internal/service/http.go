@@ -1,0 +1,167 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dnc/internal/sim/runner"
+)
+
+// maxSpecBytes bounds a submission body; specs are small JSON documents
+// and anything larger is a client error or an attack.
+const maxSpecBytes = 1 << 20
+
+// resultsPollInterval paces the results streamer's wait for new outcomes
+// on a still-running job.
+const resultsPollInterval = 50 * time.Millisecond
+
+// handler assembles the API mux:
+//
+//	POST /v1/jobs              — submit a sweep spec; 202 with the job record
+//	GET  /v1/jobs              — list all jobs
+//	GET  /v1/jobs/{id}         — one job's status
+//	GET  /v1/jobs/{id}/results — stream outcomes + result bodies as JSONL
+//	GET  /v1/deadletters       — the poisoned-cell list
+//	GET  /v1/healthz           — liveness + operational stats (503 on drain)
+//	/debug/...                 — the runner debug mux (sweep progress, vars, pprof)
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/deadletters", s.handleDeadLetters)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("/debug/", runner.DebugMux(s.progress))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed spec: %w", err))
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: tell the client when to come back, scaled to the
+		// backlog (one slot per queued job is a crude but monotone guess).
+		w.Header().Set("Retry-After", strconv.Itoa(1+s.queue.len()))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// resultLine is one JSONL line of a results stream: the outcome plus the
+// cached result body (nil for dead or failed cells, or if the cache entry
+// has been lost — the digest still identifies what the result was).
+type resultLine struct {
+	Outcome
+	Result *runner.ResultJSON `json:"result,omitempty"`
+}
+
+// handleResults streams a job's outcomes as JSONL, following a running job
+// live: lines are flushed as cells finish and the stream ends when the job
+// reaches a terminal state (or re-queues on drain, or the client leaves).
+// Slow clients hold a connection but no lock — each line is fetched and
+// encoded independently.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		outs, state := j.outcomesFrom(next)
+		for _, o := range outs {
+			line := resultLine{Outcome: o}
+			if o.ResultDigest != "" {
+				if e, ok := s.cache.get(o.Digest); ok {
+					line.Result = e.Result
+				}
+			}
+			if err := enc.Encode(line); err != nil {
+				return // client gone
+			}
+		}
+		next += len(outs)
+		if flusher != nil && len(outs) > 0 {
+			flusher.Flush()
+		}
+		if state == JobDone || state == JobFailed {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return // draining: deliver what exists, end the stream
+		case <-time.After(resultsPollInterval):
+		}
+	}
+}
+
+func (s *Server) handleDeadLetters(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.DeadLetters())
+}
+
+// handleHealthz reports ok while serving and draining (with a 503) during
+// shutdown, so load balancers stop routing before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	code := http.StatusOK
+	status := "ok"
+	if st.Draining {
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	}
+	writeJSON(w, code, struct {
+		Status string `json:"status"`
+		Stats
+	}{Status: status, Stats: st})
+}

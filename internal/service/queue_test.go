@@ -1,0 +1,84 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func qjob(seq, prio int) *job {
+	return &job{id: jobID(seq, Spec{Priority: prio}), seq: seq, spec: Spec{Priority: prio}}
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	q := newJobQueue(8)
+	// Same priority pops in submission order; higher priority jumps ahead.
+	for _, j := range []*job{qjob(1, 0), qjob(2, 0), qjob(3, 5), qjob(4, 5), qjob(5, 1)} {
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int
+	for i := 0; i < 5; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		got = append(got, j.seq)
+	}
+	want := []int{3, 4, 5, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.push(qjob(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob(3, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push over capacity = %v, want ErrQueueFull", err)
+	}
+	// Popping frees a slot.
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.push(qjob(3, 0)); err != nil {
+		t.Fatalf("push after pop = %v, want nil", err)
+	}
+}
+
+func TestQueueCloseWakesPoppers(t *testing.T) {
+	q := newJobQueue(2)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop returned a job from a closed empty queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake on close")
+	}
+	if err := q.push(qjob(1, 0)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("push after close = %v, want ErrDraining", err)
+	}
+	// Jobs queued at close time stay unpopped (persistence recovers them).
+	q2 := newJobQueue(2)
+	q2.push(qjob(1, 0))
+	q2.close()
+	if _, ok := q2.pop(); ok {
+		t.Fatal("pop drained a closed queue; queued jobs belong to the next process")
+	}
+}

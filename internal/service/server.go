@@ -1,0 +1,577 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dnc/internal/httpx"
+	"dnc/internal/sim"
+	"dnc/internal/sim/runner"
+)
+
+// Config tunes the job server. The zero value plus a DataDir is a working
+// production configuration.
+type Config struct {
+	// DataDir roots all persistent state: jobs/, cache.jsonl,
+	// deadletters.jsonl. Required.
+	DataDir string
+	// Workers is the number of jobs executed concurrently (default 2).
+	Workers int
+	// CellJobs bounds concurrently simulating cells within one job
+	// (default GOMAXPROCS).
+	CellJobs int
+	// QueueCap bounds queued (accepted, unstarted) jobs; a full queue
+	// answers 429 + Retry-After (default 64).
+	QueueCap int
+	// Retries, Backoff, BackoffMax, CellTimeout configure the per-cell
+	// retry loop (see runner.Options).
+	Retries     int
+	Backoff     time.Duration
+	BackoffMax  time.Duration
+	CellTimeout time.Duration
+	// JobTimeout bounds one job's whole sweep (0 = none). An expired job
+	// is terminal-failed, not retried.
+	JobTimeout time.Duration
+	// CheckpointEvery is the mid-cell snapshot cadence in simulated cycles
+	// (0 = runner.DefaultCheckpointEvery).
+	CheckpointEvery uint64
+	// MaxCellsPerJob bounds a single spec's expansion (default 4096).
+	MaxCellsPerJob int
+	// DeadLetterAfter is how many non-transient failures a cell
+	// accumulates (across jobs) before its circuit opens and it is served
+	// straight from the dead-letter list without running (default 2).
+	DeadLetterAfter int
+	// WrapStream, when set, routes every simulated cell through
+	// sim.RunInjected with this wrapper. It exists for the chaos suite
+	// (fault injection into the committed stream); production leaves it
+	// nil. Wrapped runs cannot checkpoint, so crash recovery degrades to
+	// journal granularity.
+	WrapStream sim.StreamWrapper
+	// RunCell, when set, replaces the cell executor outright (test seam;
+	// see runner.Options.Run). Takes precedence over WrapStream.
+	RunCell func(ctx context.Context, c runner.Cell, cfg sim.RunConfig) (sim.Result, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.CellJobs == 0 {
+		c.CellJobs = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.MaxCellsPerJob == 0 {
+		c.MaxCellsPerJob = 4096
+	}
+	if c.DeadLetterAfter == 0 {
+		c.DeadLetterAfter = 2
+	}
+	return c
+}
+
+// DeadLetter records a cell whose failures are non-transient and repeated:
+// the service stops burning cycles on it and surfaces it in the API
+// instead. Deterministic simulations make this safe — a panic reproduces
+// identically on every attempt, so retrying a poisoned cell forever would
+// only stall the queue.
+type DeadLetter struct {
+	Digest   string `json:"digest"`
+	Key      string `json:"key"`
+	Error    string `json:"error"`
+	Failures int    `json:"failures"`
+}
+
+// Stats is a point-in-time operational snapshot, also served by /v1/healthz.
+type Stats struct {
+	Draining     bool   `json:"draining"`
+	Jobs         int    `json:"jobs"`
+	Queued       int    `json:"queued"`
+	Running      int    `json:"running"`
+	Simulated    uint64 `json:"simulated"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheEntries int    `json:"cache_entries"`
+	DeadLetters  int    `json:"dead_letters"`
+}
+
+// Server is the sweep-as-a-service daemon: HTTP API in front, bounded
+// priority queue in the middle, runner.Sweep workers behind, all state
+// funneled through the persistent result cache.
+type Server struct {
+	cfg      Config
+	cache    *resultCache
+	queue    *jobQueue
+	progress *runner.Progress
+
+	ctx    context.Context // worker lifetime; cancelled by Drain
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	ln      net.Listener
+	httpSrv *http.Server
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	seq      int
+	running  int
+	draining bool
+	dead     map[string]*DeadLetter
+	deadF    *os.File
+}
+
+// New builds a server over DataDir, recovering persisted state: the result
+// cache, the dead-letter list, and every accepted-but-unfinished job
+// (re-queued in original submission order, ahead of nothing — priorities
+// still apply).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, errors.New("service: Config.DataDir is required")
+	}
+	jobsDir := filepath.Join(cfg.DataDir, "jobs")
+	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating data dir: %w", err)
+	}
+	cache, err := openResultCache(filepath.Join(cfg.DataDir, "cache.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		cache:    cache,
+		queue:    newJobQueue(cfg.QueueCap),
+		progress: runner.NewProgress(),
+		jobs:     make(map[string]*job),
+		dead:     make(map[string]*DeadLetter),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	if err := s.loadDeadLetters(filepath.Join(cfg.DataDir, "deadletters.jsonl")); err != nil {
+		cache.close()
+		return nil, err
+	}
+
+	terminal, pending, maxSeq, err := loadJobs(jobsDir)
+	if err != nil {
+		cache.close()
+		return nil, fmt.Errorf("service: recovering jobs: %w", err)
+	}
+	s.seq = maxSeq
+	for _, j := range append(terminal, pending...) {
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	for _, j := range pending {
+		if err := s.queue.push(j); err != nil {
+			// More recovered jobs than queue capacity: keep them visible
+			// as queued; they re-queue on the next restart. (Capacity
+			// should exceed any realistic crash backlog.)
+			break
+		}
+	}
+	return s, nil
+}
+
+// Start binds addr and serves the API; workers start pulling jobs. It
+// returns once listening (serving continues in the background).
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.httpSrv = httpx.NewServer(s.handler())
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.workerLoop()
+		}()
+	}
+	go s.httpSrv.Serve(ln)
+	return nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Submit validates and admits a sweep, durably recording acceptance before
+// acknowledging it. Returns ErrDraining during shutdown and ErrQueueFull
+// under backpressure; any other error is a validation failure.
+func (s *Server) Submit(spec Spec) (JobStatus, error) {
+	norm := spec.normalized()
+	if err := norm.validate(s.cfg.MaxCellsPerJob); err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobStatus{}, ErrDraining
+	}
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+
+	j := &job{
+		id:    jobID(seq, norm),
+		seq:   seq,
+		spec:  norm,
+		cells: norm.cells(),
+		state: JobQueued,
+	}
+	j.dir = filepath.Join(s.cfg.DataDir, "jobs", j.id)
+	// Persist acceptance first: a crash after this point recovers the job;
+	// a queue rejection rolls it back before the client ever saw the ID.
+	if err := j.persistSpec(); err != nil {
+		return JobStatus{}, fmt.Errorf("service: persisting job: %w", err)
+	}
+	if err := s.queue.push(j); err != nil {
+		j.dropAcceptance()
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	return j.status(), nil
+}
+
+// Job returns the status of one job.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Jobs lists every known job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := s.Job(id); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Stats snapshots the operational counters.
+func (s *Server) Stats() Stats {
+	entries, hits, _ := s.cache.stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Draining:     s.draining,
+		Jobs:         len(s.jobs),
+		Queued:       s.queue.len(),
+		Running:      s.running,
+		Simulated:    uint64(s.progress.Snapshot().OK),
+		CacheHits:    hits,
+		CacheEntries: entries,
+		DeadLetters:  len(s.dead),
+	}
+}
+
+// DeadLetters lists the poisoned cells, sorted by key.
+func (s *Server) DeadLetters() []DeadLetter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DeadLetter, 0, len(s.dead))
+	for _, d := range s.dead {
+		out = append(out, *d)
+	}
+	sortDeadLetters(out)
+	return out
+}
+
+// Drain gracefully shuts the service down: stop accepting submissions,
+// close the queue, cancel in-flight sweeps (their completed cells are
+// already journaled and cached, their running cells hold mid-run
+// checkpoints), flush and close persistent state, and stop the HTTP server
+// — all bounded by ctx. Accepted jobs are never lost: unfinished ones
+// restart from their durable acceptance record on the next process.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	s.queue.close()
+	s.cancel()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var errs []error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		errs = append(errs, fmt.Errorf("service: drain: workers still busy: %w", ctx.Err()))
+	}
+	if s.httpSrv != nil {
+		if err := httpx.Shutdown(ctx, s.httpSrv); err != nil {
+			errs = append(errs, fmt.Errorf("service: drain: http: %w", err))
+		}
+	}
+	if err := s.cache.close(); err != nil {
+		errs = append(errs, err)
+	}
+	s.mu.Lock()
+	if s.deadF != nil {
+		if err := s.deadF.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("service: closing dead-letter file: %w", err))
+		}
+		s.deadF = nil
+	}
+	s.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// workerLoop pulls jobs until the queue closes.
+func (s *Server) workerLoop() {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		s.running++
+		s.mu.Unlock()
+		s.runJob(j)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// runJob executes one job: partition cells into cached / dead / to-run,
+// sweep the remainder through the runner (journal + checkpoints in the
+// job's directory), fold fresh results into the cache, dead-letter
+// poisoned cells, and persist the terminal record. A drain mid-job leaves
+// the job queued-on-disk for the next process.
+func (s *Server) runJob(j *job) {
+	j.setState(JobRunning, "")
+	j.resetOutcomes()
+
+	byID := make(map[string]cellSpec, len(j.cells))
+	var toRun []runner.Cell
+	for _, c := range j.cells {
+		digest := c.Digest()
+		if dl := s.deadFor(digest); dl != nil {
+			j.addOutcome(Outcome{
+				Key: c.Key(), Digest: digest, Status: OutcomeDead,
+				Error: fmt.Sprintf("dead-lettered after %d failures: %s", dl.Failures, dl.Error),
+			})
+			continue
+		}
+		if e, ok := s.cache.lookup(digest); ok {
+			j.addOutcome(Outcome{
+				Key: c.Key(), Digest: digest, Status: OutcomeCached,
+				ResultDigest: e.ResultDigest,
+			})
+			continue
+		}
+		cell := runner.Cell{ID: c.Key(), Config: c.runConfig()}
+		byID[cell.ID] = c
+		toRun = append(toRun, cell)
+	}
+
+	jobCtx := s.ctx
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		jobCtx, cancel = context.WithTimeout(jobCtx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+
+	_, err := runner.Sweep(jobCtx, toRun, runner.Options{
+		Jobs:            s.cfg.CellJobs,
+		Timeout:         s.cfg.CellTimeout,
+		Retries:         s.cfg.Retries,
+		Backoff:         s.cfg.Backoff,
+		BackoffMax:      s.cfg.BackoffMax,
+		JournalPath:     filepath.Join(j.dir, "journal.jsonl"),
+		CheckpointDir:   filepath.Join(j.dir, "ckpt"),
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		Progress:        s.progress,
+		Run:             s.cellExecutor(),
+		OnResult: func(cr runner.CellResult) {
+			cell, ok := byID[cr.ID]
+			if !ok {
+				return
+			}
+			switch cr.Status {
+			case runner.StatusOK, runner.StatusResumed:
+				e := s.cache.insert(cell, runner.NewResultJSON(cr.Result))
+				status := OutcomeSimulated
+				if cr.Status == runner.StatusResumed {
+					status = OutcomeResumed
+				}
+				j.addOutcome(Outcome{
+					Key: cr.ID, Digest: cell.Digest(), Status: status,
+					ResultDigest: e.ResultDigest, Attempts: cr.Attempts,
+				})
+			default:
+				if cr.Err != nil && (errors.Is(cr.Err, context.Canceled) || s.ctx.Err() != nil) {
+					// Drain, not cell fault: the job re-queues; no outcome,
+					// no dead letter.
+					return
+				}
+				o := Outcome{
+					Key: cr.ID, Digest: cell.Digest(), Status: OutcomeFailed,
+					Attempts: cr.Attempts,
+				}
+				if cr.Err != nil {
+					o.Error = cr.Err.Error()
+					if !isTransient(cr.Err) {
+						s.recordFailure(cell, cr.Err)
+					}
+				}
+				j.addOutcome(o)
+			}
+		},
+	})
+
+	if s.ctx.Err() != nil {
+		// Drained mid-job: completed cells are cached, in-flight ones hold
+		// checkpoints; the durable acceptance record re-queues the job.
+		j.setState(JobQueued, "")
+		return
+	}
+	if err != nil {
+		// Infrastructure failure (bad journal, job timeout): terminal.
+		j.setState(JobFailed, err.Error())
+	} else {
+		j.setState(JobDone, "")
+	}
+	if perr := j.persistDone(); perr != nil {
+		j.setState(JobFailed, fmt.Sprintf("persisting completion: %v", perr))
+	}
+}
+
+// cellExecutor picks the run function: the RunCell test seam, the chaos
+// stream wrapper via sim.RunInjected, or nil for the runner's default
+// (sim.RunChecked / sim.RunTraceChecked).
+func (s *Server) cellExecutor() func(context.Context, runner.Cell, sim.RunConfig) (sim.Result, error) {
+	if s.cfg.RunCell != nil {
+		return s.cfg.RunCell
+	}
+	if s.cfg.WrapStream != nil {
+		wrap := s.cfg.WrapStream
+		return func(ctx context.Context, c runner.Cell, cfg sim.RunConfig) (sim.Result, error) {
+			// Injected runs cannot checkpoint or resume.
+			cfg.CheckpointPath, cfg.CheckpointEvery, cfg.ResumeFrom = "", 0, ""
+			return sim.RunInjected(ctx, cfg, wrap)
+		}
+	}
+	return nil
+}
+
+// isTransient mirrors the runner's default classifier: only timeouts are
+// worth retrying — and therefore only non-timeouts are poison.
+func isTransient(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// deadFor returns the dead letter for a cell digest when its circuit is
+// open (failure count has reached the threshold).
+func (s *Server) deadFor(digest string) *DeadLetter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.dead[digest]; ok && d.Failures >= s.cfg.DeadLetterAfter {
+		return d
+	}
+	return nil
+}
+
+// recordFailure counts a non-transient cell failure and appends it to the
+// dead-letter file; once Failures reaches DeadLetterAfter the circuit
+// opens and future jobs skip the cell.
+func (s *Server) recordFailure(cell cellSpec, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	digest := cell.Digest()
+	d, ok := s.dead[digest]
+	if !ok {
+		d = &DeadLetter{Digest: digest, Key: cell.Key()}
+		s.dead[digest] = d
+	}
+	d.Failures++
+	d.Error = err.Error()
+	if s.deadF != nil {
+		if line, merr := json.Marshal(d); merr == nil {
+			s.deadF.Write(append(line, '\n'))
+			s.deadF.Sync()
+		}
+	}
+}
+
+// sortDeadLetters orders by key for stable API output.
+func sortDeadLetters(ds []DeadLetter) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Key < ds[j].Key })
+}
+
+// loadDeadLetters restores the poison list (latest record per digest wins)
+// and opens the file for appending, with the same torn-tail tolerance as
+// the journal and cache.
+func (s *Server) loadDeadLetters(path string) error {
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var d DeadLetter
+			if json.Unmarshal(line, &d) != nil || d.Digest == "" {
+				continue
+			}
+			dc := d
+			s.dead[d.Digest] = &dc
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("service: reading dead letters %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("service: opening dead letters %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: opening dead letters %s for append: %w", path, err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], fi.Size()-1); err == nil && last[0] != '\n' {
+			f.Write([]byte("\n"))
+		}
+	}
+	s.deadF = f
+	return nil
+}

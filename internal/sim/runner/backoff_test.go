@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dnc/internal/sim"
+)
+
+// withFakeBackoffClock swaps the package's sleep and jitter seams for
+// deterministic fakes: sleeps are recorded instead of taken, and the jitter
+// fraction is a fixed sequence. Restores on cleanup.
+func withFakeBackoffClock(t *testing.T, jitter []float64) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	oldSleep, oldRand := sleepRetry, backoffRand
+	i := 0
+	sleepRetry = func(ctx context.Context, d time.Duration) { slept = append(slept, d) }
+	backoffRand = func() float64 {
+		v := jitter[i%len(jitter)]
+		i++
+		return v
+	}
+	t.Cleanup(func() { sleepRetry, backoffRand = oldSleep, oldRand })
+	return &slept
+}
+
+// TestBackoffSchedule pins the exact retry schedule under a fake clock: a
+// cell failing with a transient error four times sleeps the equal-jitter
+// exponential sequence — delay n = half of base<<n plus jitter×half — with
+// growth capped at BackoffMax.
+func TestBackoffSchedule(t *testing.T) {
+	slept := withFakeBackoffClock(t, []float64{0, 1, 0.5, 0})
+
+	fails := 0
+	res := runCell(context.Background(), Cell{ID: "sched"}, Options{
+		Retries:    4,
+		Backoff:    100 * time.Millisecond,
+		BackoffMax: 400 * time.Millisecond,
+		Run: func(ctx context.Context, c Cell, cfg sim.RunConfig) (sim.Result, error) {
+			fails++
+			return sim.Result{}, context.DeadlineExceeded
+		},
+	})
+	if res.Status != StatusFailed || res.Attempts != 5 {
+		t.Fatalf("status %v attempts %d, want failed after 5 attempts", res.Status, res.Attempts)
+	}
+	// attempt 1: exp 100ms, jitter 0   → 50ms
+	// attempt 2: exp 200ms, jitter 1   → 200ms
+	// attempt 3: exp 400ms, jitter 0.5 → 300ms
+	// attempt 4: exp capped at 400ms, jitter 0 → 200ms
+	want := []time.Duration{
+		50 * time.Millisecond,
+		200 * time.Millisecond,
+		300 * time.Millisecond,
+		200 * time.Millisecond,
+	}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v (%d delays), want %d", *slept, len(*slept), len(want))
+	}
+	for i, d := range want {
+		if (*slept)[i] != d {
+			t.Errorf("retry %d slept %v, want %v", i+1, (*slept)[i], d)
+		}
+	}
+	if fails != 5 {
+		t.Errorf("run invoked %d times, want 5", fails)
+	}
+}
+
+// TestBackoffDefaultsAndBounds checks the delay function directly: defaults
+// apply, jitter stays within [exp/2, exp], and the cap binds.
+func TestBackoffDefaultsAndBounds(t *testing.T) {
+	defer func(r func() float64) { backoffRand = r }(backoffRand)
+
+	backoffRand = func() float64 { return 0 }
+	if got := backoffDelay(0, 0, 1); got != DefaultBackoff/2 {
+		t.Errorf("zero-config attempt 1 low bound = %v, want %v", got, DefaultBackoff/2)
+	}
+	backoffRand = func() float64 { return 0.999999 }
+	if got := backoffDelay(0, 0, 1); got > DefaultBackoff {
+		t.Errorf("zero-config attempt 1 high bound = %v, want <= %v", got, DefaultBackoff)
+	}
+	// Far attempts clamp to max, not overflow.
+	if got := backoffDelay(time.Second, 8*time.Second, 40); got > 8*time.Second {
+		t.Errorf("attempt 40 = %v, want <= 8s cap", got)
+	}
+	backoffRand = func() float64 { return 0 }
+	if got := backoffDelay(time.Second, 8*time.Second, 40); got != 4*time.Second {
+		t.Errorf("attempt 40 low bound = %v, want 4s (half the cap)", got)
+	}
+}
+
+// TestRetrySucceedsAfterTransientFailures proves the retry loop hands back
+// the successful attempt's result and attempt count.
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	withFakeBackoffClock(t, []float64{0.5})
+
+	n := 0
+	res := runCell(context.Background(), Cell{ID: "heal"}, Options{
+		Retries: 3,
+		Run: func(ctx context.Context, c Cell, cfg sim.RunConfig) (sim.Result, error) {
+			n++
+			if n < 3 {
+				return sim.Result{}, context.DeadlineExceeded
+			}
+			return sim.Result{Workload: "w", Design: "d"}, nil
+		},
+	})
+	if res.Status != StatusOK || res.Attempts != 3 {
+		t.Fatalf("status %v attempts %d, want ok on attempt 3", res.Status, res.Attempts)
+	}
+	if res.Result.Workload != "w" {
+		t.Fatalf("result not from the successful attempt: %+v", res.Result)
+	}
+}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -11,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"dnc/internal/httpx"
 )
 
 // Progress tracks a sweep's live state for periodic console summaries and
@@ -177,20 +180,17 @@ type DebugServer struct {
 	srv  *http.Server
 }
 
-// StartDebug binds addr (e.g. "localhost:6060") and serves:
+// DebugMux returns the debug handler set observing p:
 //
 //	/debug/sweep  — the Progress snapshot as JSON
 //	/debug/vars   — snapshot plus runtime memory statistics (expvar-style)
 //	/debug/pprof/ — the standard pprof handlers
 //
-// Handlers run on a private mux, so tests can start and stop servers freely
-// without colliding on process-global registries. The returned server is
-// already serving; call Close to shut it down.
-func StartDebug(addr string, p *Progress) (*DebugServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("runner: debug listen %s: %w", addr, err)
-	}
+// Handlers live on a private mux, so tests (and embedders like the
+// dncserved job service, which mounts this next to its own API) can build
+// and discard servers freely without colliding on process-global
+// registries.
+func DebugMux(p *Progress) *http.ServeMux {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
@@ -221,13 +221,34 @@ func StartDebug(addr string, p *Progress) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
-	ds := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+// StartDebug binds addr (e.g. "localhost:6060") and serves DebugMux(p) on a
+// hardened server (header-read and idle timeouts per internal/httpx, so a
+// stalled client cannot pin the process). The returned server is already
+// serving; call Shutdown for a graceful stop or Close for an immediate one.
+func StartDebug(addr string, p *Progress) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("runner: debug listen %s: %w", addr, err)
+	}
+	ds := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: httpx.NewServer(DebugMux(p))}
 	go ds.srv.Serve(ln)
 	return ds, nil
 }
 
-// Close stops the server.
+// Shutdown stops the server gracefully, letting in-flight requests finish
+// until ctx expires, then force-closes whatever remains — it never hangs a
+// drain (see httpx.Shutdown).
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return httpx.Shutdown(ctx, d.srv)
+}
+
+// Close stops the server immediately.
 func (d *DebugServer) Close() error {
 	if d == nil || d.srv == nil {
 		return nil

@@ -18,18 +18,22 @@ import (
 // sweep from the file, but only "ok" entries are skipped on resume — a
 // re-run retries everything that did not complete.
 type journalEntry struct {
-	ID        string         `json:"id"`
-	Status    Status         `json:"status"`
-	Attempts  int            `json:"attempts"`
-	ElapsedMS int64          `json:"elapsed_ms"`
-	Error     string         `json:"error,omitempty"`
-	Result    *journalResult `json:"result,omitempty"`
+	ID        string      `json:"id"`
+	Status    Status      `json:"status"`
+	Attempts  int         `json:"attempts"`
+	ElapsedMS int64       `json:"elapsed_ms"`
+	Error     string      `json:"error,omitempty"`
+	Result    *ResultJSON `json:"result,omitempty"`
 }
 
-// journalResult mirrors sim.Result minus the live Design instances (an
-// interface slice that cannot round-trip through JSON). A resumed cell
-// therefore restores every metric but not per-design probe state.
-type journalResult struct {
+// ResultJSON mirrors sim.Result minus the live Design instances (an
+// interface slice that cannot round-trip through JSON), so a journaled or
+// cached cell restores every metric but not per-design probe state. It is
+// the canonical wire form of a result: the journal stores it per line, and
+// the dncserved result cache content-addresses its encoded bytes — the
+// encoding is deterministic (fixed field order, no maps except inside Obs,
+// which encoding/json sorts), so equal results give equal digests.
+type ResultJSON struct {
 	Workload    string         `json:"workload"`
 	Design      string         `json:"design"`
 	M           core.Metrics   `json:"m"`
@@ -44,8 +48,9 @@ type journalResult struct {
 	Obs *obs.RunObs `json:"obs,omitempty"`
 }
 
-func toJournalResult(r sim.Result) *journalResult {
-	return &journalResult{
+// NewResultJSON strips r to its JSON-portable form.
+func NewResultJSON(r sim.Result) *ResultJSON {
+	return &ResultJSON{
 		Workload:    r.Workload,
 		Design:      r.Design,
 		M:           r.M,
@@ -59,7 +64,8 @@ func toJournalResult(r sim.Result) *journalResult {
 	}
 }
 
-func (jr *journalResult) toResult() sim.Result {
+// Result reassembles the sim.Result (without live Designs).
+func (jr *ResultJSON) Result() sim.Result {
 	return sim.Result{
 		Workload:    jr.Workload,
 		Design:      jr.Design,
@@ -122,7 +128,7 @@ func openJournal(path string, syncEvery int) (*journal, error) {
 				continue
 			}
 			if e.Status == StatusOK && e.Result != nil {
-				j.done[e.ID] = e.Result.toResult()
+				j.done[e.ID] = e.Result.Result()
 			}
 		}
 		f.Close()
@@ -173,7 +179,7 @@ func (j *journal) append(res CellResult) {
 		e.Error = res.Err.Error()
 	}
 	if res.Status == StatusOK {
-		e.Result = toJournalResult(res.Result)
+		e.Result = NewResultJSON(res.Result)
 	}
 	line, err := json.Marshal(e)
 	if err != nil {

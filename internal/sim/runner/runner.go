@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -67,9 +68,16 @@ type Options struct {
 	// Retries is how many times a transiently failed cell is re-attempted
 	// after its first failure.
 	Retries int
-	// Backoff is the delay before the first retry; it doubles per attempt
-	// (0 = 100ms).
+	// Backoff is the base retry delay (0 = DefaultBackoff). The actual
+	// delay grows exponentially per attempt up to BackoffMax and carries
+	// equal jitter — half the exponential value fixed, half uniformly
+	// random — so cells that failed together (an oversubscribed machine
+	// timing out a whole worker pool at once) retry spread out instead of
+	// stampeding back simultaneously.
 	Backoff time.Duration
+	// BackoffMax caps the exponential growth of the retry delay
+	// (0 = DefaultBackoffMax).
+	BackoffMax time.Duration
 	// JournalPath appends every finished cell to this JSONL file and, when
 	// the file already holds completed cells from an earlier sweep, skips
 	// re-executing them ("" = no journal).
@@ -94,6 +102,14 @@ type Options struct {
 	// reproduces on every attempt, but a timeout may just mean the machine
 	// was oversubscribed.
 	Transient func(error) bool
+	// Run, when set, replaces the default per-attempt executor
+	// (sim.RunTraceChecked for trace cells, sim.RunChecked otherwise). The
+	// cfg argument is the cell's config with the runner's checkpoint/resume
+	// fields applied. It exists so embedders can interpose on execution —
+	// the dncserved service routes chaos runs through sim.RunInjected, and
+	// tests substitute deterministic fakes — while keeping the retry,
+	// backoff, journal, and checkpoint machinery identical to production.
+	Run func(ctx context.Context, c Cell, cfg sim.RunConfig) (sim.Result, error)
 	// OnResult, when set, observes each finished cell (called serially).
 	OnResult func(CellResult)
 	// Progress, when set, is updated live as cells start and finish — the
@@ -133,6 +149,49 @@ func (r *Report) FirstErr() error {
 
 func defaultTransient(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// Default retry-backoff parameters (see Options.Backoff).
+const (
+	DefaultBackoff    = 100 * time.Millisecond
+	DefaultBackoffMax = 30 * time.Second
+)
+
+// Test seams for the backoff path: production uses a real timer and the
+// global math/rand source; the schedule-pinning test substitutes a fake
+// clock and a deterministic jitter sequence.
+var (
+	backoffRand = rand.Float64
+	sleepRetry  = func(ctx context.Context, d time.Duration) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+)
+
+// backoffDelay returns the delay before retry number attempt (1-based): the
+// base doubles per attempt up to max, and the result carries equal jitter —
+// delay/2 guaranteed plus up to delay/2 uniformly random — bounding both
+// sides (never less than half the exponential value, never more than it).
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = DefaultBackoff
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(backoffRand()*float64(d-half))
 }
 
 // DefaultCheckpointEvery is the snapshot cadence used for cells running
@@ -280,6 +339,15 @@ func runCell(ctx context.Context, c Cell, o Options) CellResult {
 	if transient == nil {
 		transient = defaultTransient
 	}
+	run := o.Run
+	if run == nil {
+		run = func(ctx context.Context, c Cell, cfg sim.RunConfig) (sim.Result, error) {
+			if c.TracePath != "" {
+				return sim.RunTraceChecked(ctx, c.Config, c.TracePath)
+			}
+			return sim.RunChecked(ctx, cfg)
+		}
+	}
 	ckpt := ""
 	if o.CheckpointDir != "" && c.TracePath == "" {
 		ckpt = cellCheckpointPath(o.CheckpointDir, c.ID)
@@ -308,15 +376,7 @@ func runCell(ctx context.Context, c Cell, o Options) CellResult {
 		if o.Timeout > 0 {
 			rctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		}
-		var (
-			r   sim.Result
-			err error
-		)
-		if c.TracePath != "" {
-			r, err = sim.RunTraceChecked(rctx, c.Config, c.TracePath)
-		} else {
-			r, err = sim.RunChecked(rctx, cfg)
-		}
+		r, err := run(rctx, c, cfg)
 		if cancel != nil {
 			cancel()
 		}
@@ -341,14 +401,7 @@ func runCell(ctx context.Context, c Cell, o Options) CellResult {
 		if attempt > o.Retries || !transient(err) {
 			break
 		}
-		backoff := o.Backoff
-		if backoff <= 0 {
-			backoff = 100 * time.Millisecond
-		}
-		select {
-		case <-time.After(backoff << (attempt - 1)):
-		case <-ctx.Done():
-		}
+		sleepRetry(ctx, backoffDelay(o.Backoff, o.BackoffMax, attempt))
 	}
 	out.Elapsed = time.Since(start)
 	return out
