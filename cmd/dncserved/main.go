@@ -6,7 +6,8 @@
 //	dncserved [-addr localhost:8080] [-data dncserved-data] [-workers 2]
 //	          [-cell-jobs N] [-queue-cap 64] [-retries 2] [-cell-timeout 10m]
 //	          [-job-timeout 0] [-checkpoint-every N] [-max-cells 4096]
-//	          [-drain-timeout 30s]
+//	          [-drain-timeout 30s] [-cache-max-bytes 0]
+//	          [-lease-ttl 15s] [-lease-max-age 10m] [-lease-batch 16]
 //
 // Clients POST sweep specs to /v1/jobs and stream results from
 // /v1/jobs/{id}/results (see README "Sweep as a service"). Identical cells
@@ -17,6 +18,18 @@
 // drain that stops admissions, checkpoints in-flight work, flushes
 // persistent state, and exits 0 with every accepted job either completed
 // or durably queued for the next start.
+//
+// With -cache-max-bytes > 0 the result cache is bounded: oldest entries
+// are evicted first and the file compacts in place (an evicted cell simply
+// re-runs on its next request — determinism makes eviction invisible).
+//
+// Remote dncworker processes may register at any time and take over cell
+// execution (see cmd/dncworker and docs/OPERATIONS.md); with none
+// registered the server runs cells in-process exactly as before. The
+// -lease-* flags tune the worker plane: -lease-ttl is the heartbeat window
+// after which a silent worker forfeits its leases, -lease-max-age the
+// per-cell progress budget that revokes leases from frozen-but-heartbeating
+// workers, and -lease-batch the most cells one lease request may claim.
 package main
 
 import (
@@ -43,6 +56,10 @@ func main() {
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "mid-cell snapshot cadence in simulated cycles (0 = default)")
 	maxCells := flag.Int("max-cells", 4096, "max cells one submitted spec may expand to")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGINT/SIGTERM")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "result-cache size bound; oldest entries evicted first (0 = unbounded)")
+	leaseTTL := flag.Duration("lease-ttl", service.DefaultLeaseTTL, "worker heartbeat window; silent workers forfeit their leases")
+	leaseMaxAge := flag.Duration("lease-max-age", service.DefaultLeaseMaxAge, "per-lease progress budget; frozen workers' cells reassign after this")
+	leaseBatch := flag.Int("lease-batch", service.DefaultLeaseBatchMax, "max cells per worker lease request")
 	flag.Parse()
 
 	srv, err := service.New(service.Config{
@@ -55,6 +72,10 @@ func main() {
 		JobTimeout:      *jobTimeout,
 		CheckpointEvery: *ckptEvery,
 		MaxCellsPerJob:  *maxCells,
+		CacheMaxBytes:   *cacheMax,
+		LeaseTTL:        *leaseTTL,
+		LeaseMaxAge:     *leaseMaxAge,
+		LeaseBatchMax:   *leaseBatch,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dncserved: %v\n", err)

@@ -1,0 +1,71 @@
+// Command dncworker is the remote execution plane for dncserved: a worker
+// process that registers with a control plane, pulls leased simulation
+// cells in batches, executes them with the exact RunConfig construction the
+// server's in-process pool uses, and uploads results under each cell's
+// content address.
+//
+// Usage:
+//
+//	dncworker -server http://host:8080 [-name $(hostname)] [-capacity 1]
+//	          [-lease-batch 0] [-poll 250ms] [-cell-timeout 10m]
+//
+// Run any number of these against one dncserved; the server spreads leases
+// across them and reassigns the cells of any worker that dies (missed
+// heartbeats) or wedges (heartbeats without progress). Killing a dncworker
+// at any moment — including mid-cell — loses nothing: its leases expire and
+// the cells re-run elsewhere, and because simulation is deterministic a
+// late duplicate upload is bit-identical and acknowledged idempotently.
+// SIGINT/SIGTERM abandons held leases immediately (they expire server-side
+// within one TTL); the server telling us it is draining lets in-flight
+// cells finish first. See docs/OPERATIONS.md for topology and tuning.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dnc/internal/service/worker"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "dncserved base URL")
+	name := flag.String("name", defaultName(), "worker label shown to operators")
+	capacity := flag.Int("capacity", 1, "cells executed concurrently")
+	leaseBatch := flag.Int("lease-batch", 0, "max cells per lease request (0 = server's cap)")
+	poll := flag.Duration("poll", 250*time.Millisecond, "idle re-poll cadence")
+	cellTimeout := flag.Duration("cell-timeout", 10*time.Minute, "per-cell execution bound, reported transient (0 = none)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger := log.New(os.Stderr, "dncworker: ", log.LstdFlags)
+	err := worker.Run(ctx, worker.Options{
+		Server:       *server,
+		Name:         *name,
+		Capacity:     *capacity,
+		LeaseBatch:   *leaseBatch,
+		PollInterval: *poll,
+		CellTimeout:  *cellTimeout,
+		Logf:         logger.Printf,
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "dncworker: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Printf("exiting cleanly")
+}
+
+func defaultName() string {
+	if h, err := os.Hostname(); err == nil {
+		return h
+	}
+	return "dncworker"
+}

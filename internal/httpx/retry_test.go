@@ -1,0 +1,135 @@
+package httpx
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler fails the first n requests with code, then succeeds.
+func flakyHandler(n int64, code int) (http.HandlerFunc, *atomic.Int64) {
+	var seen atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) <= n {
+			http.Error(w, "not yet", code)
+			return
+		}
+		var in map[string]string
+		json.NewDecoder(r.Body).Decode(&in)
+		json.NewEncoder(w).Encode(map[string]string{"echo": in["msg"]})
+	}, &seen
+}
+
+func TestRetryClientRetriesRetryableStatuses(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable} {
+		h, seen := flakyHandler(2, code)
+		srv := httptest.NewServer(h)
+		rc := &RetryClient{
+			Retries: 3,
+			Sleep:   func(context.Context, time.Duration) error { return nil },
+		}
+		var out map[string]string
+		status, err := rc.PostJSON(context.Background(), srv.URL, map[string]string{"msg": "hi"}, &out)
+		srv.Close()
+		if err != nil || status != http.StatusOK || out["echo"] != "hi" {
+			t.Fatalf("code %d: status=%d out=%v err=%v", code, status, out, err)
+		}
+		if seen.Load() != 3 {
+			t.Fatalf("code %d: %d attempts, want 3 (2 failures + success)", code, seen.Load())
+		}
+	}
+}
+
+func TestRetryClientDoesNotRetryTerminalStatuses(t *testing.T) {
+	h, seen := flakyHandler(100, http.StatusNotFound)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	rc := &RetryClient{
+		Retries: 5,
+		Sleep:   func(context.Context, time.Duration) error { return nil },
+	}
+	status, err := rc.PostJSON(context.Background(), srv.URL, map[string]string{}, nil)
+	if status != http.StatusNotFound || err == nil {
+		t.Fatalf("status=%d err=%v, want 404 with error", status, err)
+	}
+	if seen.Load() != 1 {
+		t.Fatalf("%d attempts on a 404, want 1 (the protocol uses 404 for re-register)", seen.Load())
+	}
+}
+
+func TestRetryClientRetriesTransportErrors(t *testing.T) {
+	h, _ := flakyHandler(0, 0)
+	srv := httptest.NewServer(h)
+	srv.Close() // connection refused from now on
+	rc := &RetryClient{
+		Retries: 2,
+		Sleep:   func(context.Context, time.Duration) error { return nil },
+	}
+	status, err := rc.PostJSON(context.Background(), srv.URL, map[string]string{}, nil)
+	if status != 0 || err == nil {
+		t.Fatalf("status=%d err=%v, want 0 with a transport error after retries", status, err)
+	}
+}
+
+// TestRetryClientEqualJitterBackoff pins the jitter seam at its extremes:
+// the delay before retry k must lie in [step/2, step] of the doubling
+// schedule, capped at BackoffMax — the equal-jitter contract.
+func TestRetryClientEqualJitterBackoff(t *testing.T) {
+	h, _ := flakyHandler(100, http.StatusServiceUnavailable)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	run := func(rnd float64) []time.Duration {
+		var slept []time.Duration
+		rc := &RetryClient{
+			Retries:    3,
+			Backoff:    100 * time.Millisecond,
+			BackoffMax: 250 * time.Millisecond,
+			Rand:       func() float64 { return rnd },
+			Sleep: func(_ context.Context, d time.Duration) error {
+				slept = append(slept, d)
+				return nil
+			},
+		}
+		rc.PostJSON(context.Background(), srv.URL, map[string]string{}, nil)
+		return slept
+	}
+
+	min := run(0) // pure fixed half: step/2 each time
+	wantMin := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 125 * time.Millisecond}
+	for i, d := range min {
+		if d != wantMin[i] {
+			t.Fatalf("rnd=0 sleep %d = %v, want %v", i, d, wantMin[i])
+		}
+	}
+	max := run(0.999999)
+	steps := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 250 * time.Millisecond}
+	for i, d := range max {
+		if d < wantMin[i] || d > steps[i] {
+			t.Fatalf("rnd≈1 sleep %d = %v outside [%v, %v]", i, d, wantMin[i], steps[i])
+		}
+	}
+}
+
+func TestRetryClientContextCancelDuringBackoff(t *testing.T) {
+	h, _ := flakyHandler(100, http.StatusServiceUnavailable)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	rc := &RetryClient{
+		Retries: 10,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}
+	_, err := rc.PostJSON(ctx, srv.URL, map[string]string{}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

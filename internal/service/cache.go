@@ -19,8 +19,12 @@ type cacheEntry struct {
 	// Key is the canonical cell key, stored for human forensics.
 	Key string `json:"key"`
 	// ResultDigest is ResultDigest(Result) at insertion time.
-	ResultDigest string `json:"result_digest"`
+	ResultDigest string             `json:"result_digest"`
 	Result       *runner.ResultJSON `json:"result"`
+
+	// size is the entry's on-disk footprint (its JSONL line including the
+	// newline), tracked for the eviction budget. Not serialized.
+	size int64
 }
 
 // resultCache is the persistent, content-addressed dedup store shared by
@@ -30,19 +34,45 @@ type cacheEntry struct {
 // fresh line. Entries are immutable — deterministic runs mean a digest can
 // only ever map to one result, so the first insert wins and duplicates are
 // dropped.
+//
+// With maxBytes > 0 the cache is bounded: when live entries exceed the
+// budget the oldest are evicted (insertion order — the cells least likely
+// to be re-requested), and once the dead bytes left behind in the file
+// exceed half the budget the file is compacted by atomic rewrite. Between
+// compactions the file holds at most budget + budget/2 plus one entry, so
+// the on-disk footprint is bounded too. An evicted cell simply re-runs on
+// its next request; determinism makes eviction semantically invisible.
 type resultCache struct {
 	mu       sync.Mutex
 	f        *os.File
+	path     string
+	maxBytes int64
 	byDigest map[string]*cacheEntry
-	hits     uint64
-	inserts  uint64
-	errs     []error
+	// order is the insertion order of live digests (eviction scans from the
+	// front); evicted digests are removed lazily on compaction scans.
+	order     []string
+	liveBytes int64 // sum of live entry sizes
+	deadBytes int64 // bytes in the file belonging to evicted entries
+	hits      uint64
+	inserts   uint64
+	evictions uint64
+	errs      []error
+}
+
+// cacheStats is the cache's operational snapshot.
+type cacheStats struct {
+	entries   int
+	hits      uint64
+	inserts   uint64
+	evictions uint64
+	liveBytes int64
 }
 
 // openResultCache loads an existing cache file (tolerating a torn tail) and
-// opens it for appending.
-func openResultCache(path string) (*resultCache, error) {
-	c := &resultCache{byDigest: make(map[string]*cacheEntry)}
+// opens it for appending. maxBytes > 0 bounds the cache; a loaded file
+// already over budget is evicted down and compacted immediately.
+func openResultCache(path string, maxBytes int64) (*resultCache, error) {
+	c := &resultCache{path: path, maxBytes: maxBytes, byDigest: make(map[string]*cacheEntry)}
 	if f, err := os.Open(path); err == nil {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
@@ -57,7 +87,10 @@ func openResultCache(path string) (*resultCache, error) {
 			}
 			if _, dup := c.byDigest[e.Digest]; !dup {
 				ec := e
+				ec.size = int64(len(line)) + 1
 				c.byDigest[e.Digest] = &ec
+				c.order = append(c.order, e.Digest)
+				c.liveBytes += ec.size
 			}
 		}
 		f.Close()
@@ -78,6 +111,10 @@ func openResultCache(path string) (*resultCache, error) {
 		}
 	}
 	c.f = f
+	if c.maxBytes > 0 && c.liveBytes > c.maxBytes {
+		c.evictLocked()
+		c.compactLocked() // a restart with a shrunken budget trims eagerly
+	}
 	return c, nil
 }
 
@@ -128,16 +165,115 @@ func (c *resultCache) insert(cell cellSpec, r *runner.ResultJSON) *cacheEntry {
 	} else if err := c.f.Sync(); err != nil {
 		c.errs = append(c.errs, fmt.Errorf("service: cache sync: %w", err))
 	}
+	e.size = int64(len(line)) + 1
 	c.byDigest[digest] = e
+	c.order = append(c.order, digest)
+	c.liveBytes += e.size
 	c.inserts++
+	if c.maxBytes > 0 && c.liveBytes > c.maxBytes {
+		c.evictLocked()
+		if c.deadBytes > c.maxBytes/2 {
+			c.compactLocked()
+		}
+	}
 	return e
 }
 
-// stats reports entry count, dedup hits, and inserts this process.
-func (c *resultCache) stats() (entries int, hits, inserts uint64) {
+// evictLocked drops oldest-first until live bytes fit the budget, always
+// keeping at least the newest entry (a single result larger than the whole
+// budget still has to be servable).
+func (c *resultCache) evictLocked() {
+	for c.liveBytes > c.maxBytes && len(c.order) > 1 {
+		digest := c.order[0]
+		c.order = c.order[1:]
+		e, ok := c.byDigest[digest]
+		if !ok {
+			continue
+		}
+		delete(c.byDigest, digest)
+		c.liveBytes -= e.size
+		c.deadBytes += e.size
+		c.evictions++
+	}
+}
+
+// compactLocked rewrites the file with only live entries (atomic tmp +
+// rename, fsynced) and reopens it for appending, reclaiming dead bytes.
+// Failures leave the old file in place — correctness never depends on
+// compaction, only the disk bound does.
+func (c *resultCache) compactLocked() {
+	tmp := c.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		c.errs = append(c.errs, fmt.Errorf("service: cache compact: %w", err))
+		return
+	}
+	w := bufio.NewWriter(f)
+	ok := true
+	live := make([]string, 0, len(c.byDigest))
+	for _, digest := range c.order {
+		e, present := c.byDigest[digest]
+		if !present {
+			continue
+		}
+		live = append(live, digest)
+		line, err := json.Marshal(e)
+		if err != nil {
+			continue
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			c.errs = append(c.errs, fmt.Errorf("service: cache compact write: %w", err))
+			ok = false
+			break
+		}
+	}
+	if ok {
+		if err := w.Flush(); err != nil {
+			c.errs = append(c.errs, fmt.Errorf("service: cache compact flush: %w", err))
+			ok = false
+		}
+	}
+	if ok {
+		if err := f.Sync(); err != nil {
+			c.errs = append(c.errs, fmt.Errorf("service: cache compact sync: %w", err))
+			ok = false
+		}
+	}
+	if err := f.Close(); err != nil && ok {
+		c.errs = append(c.errs, fmt.Errorf("service: cache compact close: %w", err))
+		ok = false
+	}
+	if !ok {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		c.errs = append(c.errs, fmt.Errorf("service: cache compact rename: %w", err))
+		os.Remove(tmp)
+		return
+	}
+	nf, err := os.OpenFile(c.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		c.errs = append(c.errs, fmt.Errorf("service: cache compact reopen: %w", err))
+		return
+	}
+	c.f.Close()
+	c.f = nf
+	c.order = live
+	c.deadBytes = 0
+}
+
+// stats reports the cache's operational counters.
+func (c *resultCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.byDigest), c.hits, c.inserts
+	return cacheStats{
+		entries:   len(c.byDigest),
+		hits:      c.hits,
+		inserts:   c.inserts,
+		evictions: c.evictions,
+		liveBytes: c.liveBytes,
+	}
 }
 
 // close closes the backing file; write errors accumulated over the run are

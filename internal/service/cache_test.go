@@ -27,7 +27,7 @@ func fakeResult(retired uint64) *runner.ResultJSON {
 
 func TestCachePersistsAcrossReopen(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cache.jsonl")
-	c, err := openResultCache(path)
+	c, err := openResultCache(path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestCachePersistsAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c2, err := openResultCache(path)
+	c2, err := openResultCache(path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,9 +57,9 @@ func TestCachePersistsAcrossReopen(t *testing.T) {
 	if got.Result.M.Retired != 500 {
 		t.Fatalf("result body drifted: %+v", got.Result.M)
 	}
-	entries, hits, _ := c2.stats()
-	if entries != 1 || hits != 1 {
-		t.Fatalf("stats = %d entries %d hits, want 1/1", entries, hits)
+	st := c2.stats()
+	if st.entries != 1 || st.hits != 1 {
+		t.Fatalf("stats = %d entries %d hits, want 1/1", st.entries, st.hits)
 	}
 }
 
@@ -68,7 +68,7 @@ func TestCachePersistsAcrossReopen(t *testing.T) {
 // next insert lands on a fresh line and round-trips.
 func TestCacheTornTailDiscarded(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cache.jsonl")
-	c, _ := openResultCache(path)
+	c, _ := openResultCache(path, 0)
 	c.insert(cacheCell(1), fakeResult(100))
 	c.insert(cacheCell(2), fakeResult(200))
 	c.close()
@@ -80,7 +80,7 @@ func TestCacheTornTailDiscarded(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c2, err := openResultCache(path)
+	c2, err := openResultCache(path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestCacheTornTailDiscarded(t *testing.T) {
 	c2.insert(cacheCell(3), fakeResult(300))
 	c2.close()
 
-	c3, err := openResultCache(path)
+	c3, err := openResultCache(path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,16 +109,15 @@ func TestCacheTornTailDiscarded(t *testing.T) {
 // store).
 func TestCacheFirstInsertWins(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cache.jsonl")
-	c, _ := openResultCache(path)
+	c, _ := openResultCache(path, 0)
 	defer c.close()
 	first := c.insert(cacheCell(1), fakeResult(100))
 	second := c.insert(cacheCell(1), fakeResult(999))
 	if second.ResultDigest != first.ResultDigest {
 		t.Fatal("second insert replaced an immutable entry")
 	}
-	_, _, inserts := c.stats()
-	if inserts != 1 {
-		t.Fatalf("inserts = %d, want 1", inserts)
+	if st := c.stats(); st.inserts != 1 {
+		t.Fatalf("inserts = %d, want 1", st.inserts)
 	}
 }
 

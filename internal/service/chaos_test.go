@@ -245,7 +245,7 @@ func TestChaosKillResume(t *testing.T) {
 
 	// Byte-identical proof for every cell, against fresh standalone runs.
 	for _, cell := range spec.normalized().cells() {
-		fresh, err := sim.RunChecked(context.Background(), cell.runConfig())
+		fresh, err := sim.RunChecked(context.Background(), cell.RunConfig())
 		if err != nil {
 			t.Fatalf("fresh run of %s: %v", cell.Key(), err)
 		}

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dnc/internal/service/faultplane"
+	"dnc/internal/service/workerproto"
+)
+
+// Dispatcher unit tests drive the lease table through a fake clock
+// (faultplane.Clock), so TTL expiry and the frozen-worker budget are exact
+// instants rather than sleeps: the tests are deterministic and instant.
+
+func testDispatcher(clk *faultplane.Clock, ttl, maxAge time.Duration) *dispatcher {
+	return newDispatcher(clk.Now, ttl, maxAge, 4)
+}
+
+func testCell(seed int64) workerproto.CellSpec {
+	return workerproto.CellSpec{
+		Workload: "Web-Frontend", Design: "baseline",
+		Cores: 2, Warm: 600, Measure: 600, Seed: seed,
+	}
+}
+
+func TestDispatchLeaseExpiryReassignsToLiveWorker(t *testing.T) {
+	clk := faultplane.NewClock(time.Unix(1000, 0))
+	d := testDispatcher(clk, 10*time.Second, time.Hour)
+
+	a := d.register("a", 1)
+	spec := testCell(1)
+	ch, cancel := d.enqueue(spec)
+	defer cancel()
+
+	leases, err := d.lease(a.WorkerID, 4)
+	if err != nil || len(leases) != 1 {
+		t.Fatalf("lease to a = %v, %v; want 1 lease", leases, err)
+	}
+	if leases[0].Digest != spec.Digest() || leases[0].Spec != spec {
+		t.Fatalf("lease carries wrong cell: %+v", leases[0])
+	}
+
+	// a goes silent past its TTL; b registers fresh and must inherit the
+	// cell on its next lease call.
+	clk.Advance(9 * time.Second)
+	b := d.register("b", 1)
+	clk.Advance(2 * time.Second) // a is now 11s silent; b only 2s old
+	d.expire()
+
+	st := d.stats()
+	if st.WorkersExpired != 1 || st.WorkersLive != 1 || st.Reassigned != 1 {
+		t.Fatalf("stats after expiry = %+v; want 1 expired, 1 live, 1 reassigned", st)
+	}
+	leases, err = d.lease(b.WorkerID, 4)
+	if err != nil || len(leases) != 1 || leases[0].Digest != spec.Digest() {
+		t.Fatalf("reassigned lease to b = %v, %v; want the original cell", leases, err)
+	}
+
+	// The dead worker's ID is rejected until it re-registers.
+	if _, err := d.lease(a.WorkerID, 4); !errors.Is(err, errUnknownWorker) {
+		t.Fatalf("lease with expired id = %v, want errUnknownWorker", err)
+	}
+	if _, err := d.heartbeat(a.WorkerID, nil); !errors.Is(err, errUnknownWorker) {
+		t.Fatalf("heartbeat with expired id = %v, want errUnknownWorker", err)
+	}
+
+	// Delivery after reassignment wakes the waiter exactly once.
+	if !d.deliver(spec.Digest(), remoteOutcome{}) {
+		t.Fatal("deliver reported the cell not outstanding")
+	}
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			t.Fatalf("waiter got err %v", out.err)
+		}
+	default:
+		t.Fatal("waiter not woken by deliver")
+	}
+}
+
+// TestDispatchFrozenWorkerBudget is the frozen-worker watchdog: heartbeats
+// keep the worker alive, but a lease held past the progress budget is
+// revoked anyway and the heartbeat response says so.
+func TestDispatchFrozenWorkerBudget(t *testing.T) {
+	clk := faultplane.NewClock(time.Unix(1000, 0))
+	ttl, maxAge := 10*time.Second, 30*time.Second
+	d := testDispatcher(clk, ttl, maxAge)
+
+	a := d.register("frozen", 1)
+	b := d.register("healthy", 1)
+	spec := testCell(2)
+	_, cancel := d.enqueue(spec)
+	defer cancel()
+	if leases, _ := d.lease(a.WorkerID, 1); len(leases) != 1 {
+		t.Fatal("worker a did not get the lease")
+	}
+
+	// Beat every 5s (inside the TTL) for 25s: worker alive, lease young
+	// enough, nothing revoked.
+	for i := 0; i < 5; i++ {
+		clk.Advance(5 * time.Second)
+		revoked, err := d.heartbeat(a.WorkerID, []string{spec.Digest()})
+		if err != nil || len(revoked) != 0 {
+			t.Fatalf("beat %d: revoked=%v err=%v; want none", i, revoked, err)
+		}
+		if _, err := d.heartbeat(b.WorkerID, nil); err != nil {
+			t.Fatalf("healthy beat: %v", err)
+		}
+	}
+	// 31s after grant: past the budget. The next beat must revoke.
+	clk.Advance(6 * time.Second)
+	if _, err := d.heartbeat(b.WorkerID, nil); err != nil {
+		t.Fatalf("healthy beat: %v", err)
+	}
+	revoked, err := d.heartbeat(a.WorkerID, []string{spec.Digest()})
+	if err != nil || len(revoked) != 1 || revoked[0] != spec.Digest() {
+		t.Fatalf("past-budget beat: revoked=%v err=%v; want [%s]", revoked, err, spec.Digest())
+	}
+	if st := d.stats(); st.Reassigned != 1 || st.RemotePending != 1 || st.LeaseDepth != 0 {
+		t.Fatalf("stats after revocation = %+v", st)
+	}
+
+	// The healthy worker picks the cell up; the frozen worker, still
+	// claiming it active, is told again that it is revoked (stale lease).
+	if leases, _ := d.lease(b.WorkerID, 1); len(leases) != 1 || leases[0].Digest != spec.Digest() {
+		t.Fatal("healthy worker did not inherit the revoked cell")
+	}
+	revoked, err = d.heartbeat(a.WorkerID, []string{spec.Digest()})
+	if err != nil || len(revoked) != 1 {
+		t.Fatalf("stale-active beat: revoked=%v err=%v; want the digest re-reported", revoked, err)
+	}
+}
+
+// TestDispatchZeroWorkersReleasesWaiters: when the last live worker
+// disappears, cells waiting on the remote plane are handed back with
+// errNoWorkers so the server's executor falls back to in-process runs
+// instead of stalling forever.
+func TestDispatchZeroWorkersReleasesWaiters(t *testing.T) {
+	clk := faultplane.NewClock(time.Unix(1000, 0))
+	d := testDispatcher(clk, 10*time.Second, time.Hour)
+
+	d.register("only", 1)
+	if !d.active() {
+		t.Fatal("dispatcher inactive with a live worker")
+	}
+	ch, cancel := d.enqueue(testCell(3))
+	defer cancel()
+
+	clk.Advance(11 * time.Second)
+	if d.active() {
+		t.Fatal("dispatcher active after the only worker expired")
+	}
+	select {
+	case out := <-ch:
+		if !errors.Is(out.err, errNoWorkers) {
+			t.Fatalf("waiter got %v, want errNoWorkers", out.err)
+		}
+	default:
+		t.Fatal("waiter not released when the worker plane emptied")
+	}
+	if st := d.stats(); st.RemotePending != 0 || st.LeaseDepth != 0 {
+		t.Fatalf("plane not empty after release: %+v", st)
+	}
+}
+
+// TestDispatchEnqueueDedup: two jobs containing the same cell share one
+// execution — one lease goes out, one delivery wakes both waiters.
+func TestDispatchEnqueueDedup(t *testing.T) {
+	clk := faultplane.NewClock(time.Unix(1000, 0))
+	d := testDispatcher(clk, 10*time.Second, time.Hour)
+	w := d.register("w", 2)
+
+	spec := testCell(4)
+	ch1, cancel1 := d.enqueue(spec)
+	ch2, cancel2 := d.enqueue(spec)
+	defer cancel1()
+	defer cancel2()
+
+	leases, _ := d.lease(w.WorkerID, 4)
+	if len(leases) != 1 {
+		t.Fatalf("%d leases for one deduplicated cell, want 1", len(leases))
+	}
+	d.deliver(spec.Digest(), remoteOutcome{})
+	for i, ch := range []<-chan remoteOutcome{ch1, ch2} {
+		select {
+		case out := <-ch:
+			if out.err != nil {
+				t.Fatalf("waiter %d: %v", i, out.err)
+			}
+		default:
+			t.Fatalf("waiter %d not woken", i)
+		}
+	}
+}
+
+// TestDispatchCancelDropsUnleasedCell: a waiter abandoning a pending,
+// unleased cell removes it from the queue entirely; abandoning a leased one
+// leaves the lease to finish (its upload is still admissible and cached).
+func TestDispatchCancelDropsUnleasedCell(t *testing.T) {
+	clk := faultplane.NewClock(time.Unix(1000, 0))
+	d := testDispatcher(clk, 10*time.Second, time.Hour)
+	w := d.register("w", 2)
+
+	pending := testCell(5)
+	leased := testCell(6)
+	_, cancelLeased := d.enqueue(leased)
+	_, cancelPending := d.enqueue(pending)
+
+	if leases, _ := d.lease(w.WorkerID, 1); len(leases) != 1 || leases[0].Digest != leased.Digest() {
+		t.Fatal("expected the first-enqueued cell to be leased")
+	}
+	cancelPending()
+	if d.outstanding(pending.Digest()) {
+		t.Fatal("cancelled pending cell still outstanding")
+	}
+	cancelLeased()
+	if !d.outstanding(leased.Digest()) {
+		t.Fatal("leased cell dropped while a worker held it")
+	}
+	if leases, _ := d.lease(w.WorkerID, 4); len(leases) != 0 {
+		t.Fatalf("cancelled cell leased anyway: %v", leases)
+	}
+}

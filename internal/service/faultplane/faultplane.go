@@ -1,0 +1,225 @@
+// Package faultplane is the deterministic fault-injection layer for the
+// distributed worker plane's tests. It supplies the two seams chaos needs:
+//
+//   - Clock: a fake monotonic clock injected as Config.Clock, so lease
+//     expiry, heartbeat windows, and frozen-worker budgets are driven by
+//     explicit Advance calls instead of wall time;
+//   - Transport: an http.RoundTripper wrapper that drops, duplicates,
+//     delays, and tears requests according to a seeded RNG, so an entire
+//     chaotic network schedule replays bit-identically from one seed.
+//
+// Both live outside _test.go files because the distributed chaos suite
+// re-execs worker subprocesses that need them at build time, and because a
+// deterministic fault schedule is exactly the kind of harness worth reusing
+// (the differential-validation suite's philosophy: randomness is only
+// admissible when replayable).
+package faultplane
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Clock is a fake clock safe for concurrent use. The zero value starts at
+// the zero time; use New for a readable epoch.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock returns a clock frozen at start.
+func NewClock(start time.Time) *Clock { return &Clock{t: start} }
+
+// Now returns the current fake time (inject as service Config.Clock).
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Faults is the per-request fault distribution, each field a probability in
+// [0,1]. Faults compose: one request can be delayed and duplicated.
+type Faults struct {
+	// Drop fails the request with a transport error before it is sent —
+	// the network ate it. Retry layers see a connection failure.
+	Drop float64
+	// Dup sends the request twice, sequentially, returning the first
+	// response — at-least-once delivery made literal. The duplicate's
+	// response is drained and discarded.
+	Dup float64
+	// Delay sleeps up to MaxDelay before sending (reordering pressure:
+	// heartbeats overtaking completions and vice versa).
+	Delay    float64
+	MaxDelay time.Duration
+	// Tear truncates the request body mid-upload, modeling a worker dying
+	// or the connection breaking partway through a completion POST. The
+	// server must reject the torn body without poisoning any state.
+	Tear float64
+}
+
+// Stats counts what the transport actually did.
+type Stats struct {
+	Requests uint64
+	Drops    uint64
+	Dups     uint64
+	Delays   uint64
+	Tears    uint64
+}
+
+// Transport injects Faults into every request it forwards to Base. The
+// fault schedule is a pure function of the seed and the request sequence,
+// so a failing chaos run replays exactly. Safe for concurrent use; under
+// concurrency the *interleaving* of requests onto the RNG is scheduler-
+// dependent, so bit-exact replay holds for single-connection clients and
+// statistical shape for concurrent ones.
+type Transport struct {
+	base   http.RoundTripper
+	faults Faults
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) with the
+// seeded fault distribution.
+func NewTransport(seed int64, base http.RoundTripper, f Faults) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, faults: f, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats snapshots the fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// decision is one request's sampled fate, drawn atomically so concurrent
+// requests each get a coherent slice of the RNG stream.
+type decision struct {
+	drop, dup, tear bool
+	delay           time.Duration
+}
+
+func (t *Transport) decide() decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	var d decision
+	d.drop = t.rng.Float64() < t.faults.Drop
+	d.dup = t.rng.Float64() < t.faults.Dup
+	d.tear = t.rng.Float64() < t.faults.Tear
+	if t.rng.Float64() < t.faults.Delay && t.faults.MaxDelay > 0 {
+		d.delay = time.Duration(t.rng.Int63n(int64(t.faults.MaxDelay)))
+	}
+	switch {
+	case d.drop:
+		t.stats.Drops++
+	case d.tear:
+		t.stats.Tears++
+	}
+	if d.dup && !d.drop {
+		t.stats.Dups++
+	}
+	if d.delay > 0 {
+		t.stats.Delays++
+	}
+	return d
+}
+
+// RoundTrip applies the sampled faults. Requests must carry a rewindable
+// body (GetBody set — true for bytes/strings readers, which is what JSON
+// clients send); bodies that cannot rewind pass through unfaulted rather
+// than corrupting a request we could not replay.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.decide()
+	if d.delay > 0 {
+		select {
+		case <-time.After(d.delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if d.drop {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultplane: injected drop for %s %s", req.Method, req.URL.Path)
+	}
+	if (d.dup || d.tear) && req.Body != nil && req.GetBody == nil {
+		d.dup, d.tear = false, false
+	}
+	if d.tear {
+		return t.tear(req)
+	}
+	if d.dup {
+		// Send a full copy first; its response is discarded. The caller
+		// sees only the second delivery — but the server saw both.
+		if dupReq, err := cloneRequest(req); err == nil {
+			if resp, err := t.base.RoundTrip(dupReq); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// tear sends the request with its body cut roughly in half and the
+// Content-Length left claiming the full size, so the server reads a
+// truncated stream that dies mid-body — the wire shape of a worker
+// SIGKILLed during an upload.
+func (t *Transport) tear(req *http.Request) (*http.Response, error) {
+	body, err := req.GetBody()
+	if err != nil {
+		return t.base.RoundTrip(req)
+	}
+	full, err := io.ReadAll(body)
+	body.Close()
+	if err != nil || len(full) < 2 {
+		return t.base.RoundTrip(req)
+	}
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	cut := full[:len(full)/2]
+	tr := req.Clone(req.Context())
+	tr.Body = io.NopCloser(bytes.NewReader(cut))
+	tr.ContentLength = int64(len(full))
+	tr.GetBody = nil
+	resp, rtErr := t.base.RoundTrip(tr)
+	if rtErr != nil {
+		// The truncation itself usually surfaces client-side as a send
+		// error; translate it into a labeled fault so logs read cleanly.
+		return nil, fmt.Errorf("faultplane: injected torn upload for %s %s: %w", req.Method, req.URL.Path, rtErr)
+	}
+	return resp, nil
+}
+
+// cloneRequest deep-copies a request with a rewound body.
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	c := req.Clone(req.Context())
+	if req.GetBody != nil {
+		b, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		c.Body = b
+	}
+	return c, nil
+}

@@ -1,0 +1,122 @@
+package faultplane
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClockAdvances(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("Now after Advance = %v", got)
+	}
+}
+
+// TestTransportDeterministic: the whole point of a seeded fault plane is
+// that a failing chaos schedule replays bit-identically. Two transports
+// with the same seed must sample the identical fault sequence; a different
+// seed must diverge.
+func TestTransportDeterministic(t *testing.T) {
+	f := Faults{Drop: 0.3, Dup: 0.3, Tear: 0.2, Delay: 0.5, MaxDelay: time.Second}
+	sample := func(seed int64) []decision {
+		tr := NewTransport(seed, nil, f)
+		out := make([]decision, 200)
+		for i := range out {
+			out[i] = tr.decide()
+		}
+		return out
+	}
+	a, b := sample(42), sample(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged under the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := sample(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical 200-request schedule")
+	}
+}
+
+// TestTransportFaults exercises each fault against a live server: drops
+// never reach it, dups reach it twice, tears arrive truncated and must be
+// rejected by the handler, and the stats ledger matches what happened.
+func TestTransportFaults(t *testing.T) {
+	var hits atomic.Int64
+	var torn atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil || int64(len(body)) != r.ContentLength {
+			torn.Add(1)
+			http.Error(w, "torn body", http.StatusBadRequest)
+			return
+		}
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	post := func(tr *Transport) (*http.Response, error) {
+		client := &http.Client{Transport: tr}
+		return client.Post(srv.URL, "application/json", strings.NewReader(`{"payload":"0123456789abcdef"}`))
+	}
+
+	// Drop everything: the server never hears from us.
+	drop := NewTransport(1, nil, Faults{Drop: 1})
+	if _, err := post(drop); err == nil {
+		t.Fatal("dropped request returned a response")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+	if st := drop.Stats(); st.Drops != 1 || st.Requests != 1 {
+		t.Fatalf("drop stats = %+v", st)
+	}
+
+	// Duplicate everything: one POST lands twice, caller sees one response.
+	dup := NewTransport(1, nil, Faults{Dup: 1})
+	resp, err := post(dup)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("dup post = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("duplicated request hit the server %d times, want 2", hits.Load())
+	}
+	if st := dup.Stats(); st.Dups != 1 {
+		t.Fatalf("dup stats = %+v", st)
+	}
+
+	// Tear everything: the body arrives truncated; the handler must see it
+	// as torn (or the send must fail outright) — either way no clean hit.
+	hits.Store(0)
+	tear := NewTransport(1, nil, Faults{Tear: 1})
+	if resp, err := post(tear); err == nil {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("torn upload = %d, want a 400 rejection", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if hits.Load() != 0 {
+		t.Fatal("torn upload was processed as complete")
+	}
+	if st := tear.Stats(); st.Tears != 1 {
+		t.Fatalf("tear stats = %+v, want 1 tear", st)
+	}
+}

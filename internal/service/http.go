@@ -4,16 +4,25 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
+	"dnc/internal/service/workerproto"
 	"dnc/internal/sim/runner"
 )
 
 // maxSpecBytes bounds a submission body; specs are small JSON documents
 // and anything larger is a client error or an attack.
 const maxSpecBytes = 1 << 20
+
+// maxCompleteBytes bounds a worker's result upload: a full ResultJSON with
+// per-core metrics and the observability snapshot runs to a few hundred KB
+// at most, so 16 MiB is generous without letting a hostile client stream
+// unbounded bytes into the decoder.
+const maxCompleteBytes = 16 << 20
 
 // resultsPollInterval paces the results streamer's wait for new outcomes
 // on a still-running job.
@@ -27,7 +36,17 @@ const resultsPollInterval = 50 * time.Millisecond
 //	GET  /v1/jobs/{id}/results — stream outcomes + result bodies as JSONL
 //	GET  /v1/deadletters       — the poisoned-cell list
 //	GET  /v1/healthz           — liveness + operational stats (503 on drain)
-//	/debug/...                 — the runner debug mux (sweep progress, vars, pprof)
+//
+// plus the worker-plane work API (see internal/service/workerproto):
+//
+//	POST /v1/workers/register        — a dncworker announces itself
+//	POST /v1/workers/{id}/lease      — pull a batch of leased cells
+//	POST /v1/workers/{id}/heartbeat  — renew leases; learn revocations
+//	POST /v1/cells/{digest}/complete — upload a verified result or failure
+//
+// and the debug surface: the runner debug mux (progress, pprof) with
+// /debug/sweep and /debug/vars overridden to fold in the worker plane and
+// cache accounting.
 func (s *Server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -36,7 +55,13 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/deadletters", s.handleDeadLetters)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/workers/register", s.handleWorkerRegister)
+	mux.HandleFunc("POST /v1/workers/{id}/lease", s.handleWorkerLease)
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	mux.HandleFunc("POST /v1/cells/{digest}/complete", s.handleCellComplete)
 	mux.Handle("/debug/", runner.DebugMux(s.progress))
+	mux.HandleFunc("GET /debug/sweep", s.handleDebugSweep)
+	mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
 	return mux
 }
 
@@ -64,8 +89,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: tell the client when to come back, scaled to the
-		// backlog (one slot per queued job is a crude but monotone guess).
-		w.Header().Set("Retry-After", strconv.Itoa(1+s.queue.len()))
+		// backlog (one slot per queued job is a crude but monotone guess)
+		// and equal-jittered so a burst of rejected clients spreads out
+		// instead of stampeding back in lockstep.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.queue.len(), retryAfterRand)))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "30")
@@ -151,7 +178,10 @@ func (s *Server) handleDeadLetters(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports ok while serving and draining (with a 503) during
-// shutdown, so load balancers stop routing before the listener closes.
+// shutdown, so load balancers stop routing before the listener closes. The
+// stats body carries the worker-plane accounting (registered/live/expired
+// workers, lease depth) so degraded mode — zero live remote workers, cells
+// running in-process — is visible at a glance.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	code := http.StatusOK
@@ -164,4 +194,130 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status string `json:"status"`
 		Stats
 	}{Status: status, Stats: st})
+}
+
+// retryAfterRand is the jitter source seam (tests pin it).
+var retryAfterRand = rand.Float64
+
+// retryAfterSeconds converts the queue backlog into an equal-jittered
+// Retry-After: half the backlog-scaled estimate guaranteed, half uniformly
+// random, never below one second — the same shape as the runner's retry
+// backoff, for the same reason (no synchronized stampedes).
+func retryAfterSeconds(backlog int, rnd func() float64) int {
+	base := 1 + backlog
+	half := float64(base) / 2
+	ra := int(half + rnd()*half + 0.5)
+	if ra < 1 {
+		ra = 1
+	}
+	return ra
+}
+
+// ---- worker-plane handlers ----
+
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req workerproto.RegisterRequest
+	if err := decodeBody(w, r, maxSpecBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed register request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.dispatch.register(req.Name, req.Capacity))
+}
+
+func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
+	var req workerproto.LeaseRequest
+	if err := decodeBody(w, r, maxSpecBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed lease request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		// Finish what you hold; no new work is granted during a drain.
+		writeJSON(w, http.StatusOK, workerproto.LeaseResponse{Draining: true})
+		return
+	}
+	leases, err := s.dispatch.lease(r.PathValue("id"), req.Max)
+	if errors.Is(err, errUnknownWorker) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, workerproto.LeaseResponse{Leases: leases})
+}
+
+func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req workerproto.HeartbeatRequest
+	if err := decodeBody(w, r, maxSpecBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed heartbeat: %w", err))
+		return
+	}
+	revoked, err := s.dispatch.heartbeat(r.PathValue("id"), req.Active)
+	if errors.Is(err, errUnknownWorker) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, workerproto.HeartbeatResponse{Revoked: revoked})
+}
+
+func (s *Server) handleCellComplete(w http.ResponseWriter, r *http.Request) {
+	var req workerproto.CompleteRequest
+	if err := decodeBody(w, r, maxCompleteBytes, &req); err != nil {
+		// A torn upload (connection cut mid-body) surfaces here as a decode
+		// error; nothing was admitted and the worker's retry re-sends.
+		s.dispatch.countRejected()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed completion: %w", err))
+		return
+	}
+	resp, code, err := s.completeCell(r.PathValue("digest"), req)
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, code, resp)
+}
+
+// ---- debug overrides ----
+
+// handleDebugSweep extends the runner's /debug/sweep with the worker-plane
+// view: the same progress snapshot plus lease-table accounting.
+func (s *Server) handleDebugSweep(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sweep":   s.progress.Snapshot(),
+		"workers": s.dispatch.stats(),
+	})
+}
+
+// handleDebugVars mirrors the runner's /debug/vars (progress + memstats)
+// and folds in the service stats — cache eviction and admission counters
+// included — so one endpoint answers "what is this process doing".
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sweep":   s.progress.Snapshot(),
+		"service": s.Stats(),
+		"memstats": map[string]uint64{
+			"alloc":        ms.Alloc,
+			"total_alloc":  ms.TotalAlloc,
+			"sys":          ms.Sys,
+			"heap_objects": ms.HeapObjects,
+			"num_gc":       uint64(ms.NumGC),
+		},
+		"goroutines": runtime.NumGoroutine(),
+	})
 }

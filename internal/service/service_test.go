@@ -233,7 +233,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	// Bit-exactness proof: re-run one cell fresh, outside the service, and
 	// compare content digests.
 	cell := spec.normalized().cells()[0]
-	fresh, err := sim.RunChecked(context.Background(), cell.runConfig())
+	fresh, err := sim.RunChecked(context.Background(), cell.RunConfig())
 	if err != nil {
 		t.Fatalf("fresh run: %v", err)
 	}

@@ -14,12 +14,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"sync"
 
-	"dnc/internal/core"
 	"dnc/internal/isa"
 	"dnc/internal/prefetch"
-	"dnc/internal/sim"
+	"dnc/internal/service/workerproto"
 	"dnc/internal/sim/runner"
 	"dnc/internal/workloads"
 )
@@ -77,24 +75,10 @@ func (s Spec) normalized() Spec {
 	return s
 }
 
-var (
-	catalogOnce sync.Once
-	catalogMap  map[string]prefetch.CatalogEntry
-	workloadSet map[string]bool
-)
-
+// specTables delegates to the wire-protocol package, which owns the lookup
+// tables so server and remote workers validate cells identically.
 func specTables() (map[string]prefetch.CatalogEntry, map[string]bool) {
-	catalogOnce.Do(func() {
-		catalogMap = make(map[string]prefetch.CatalogEntry)
-		for _, e := range prefetch.Catalog() {
-			catalogMap[e.Name] = e
-		}
-		workloadSet = make(map[string]bool)
-		for _, n := range workloads.Names {
-			workloadSet[n] = true
-		}
-	})
-	return catalogMap, workloadSet
+	return workerproto.Tables()
 }
 
 // validate checks a normalized spec against the preset tables and limits.
@@ -172,57 +156,12 @@ func (s Spec) digest() string {
 	return hex.EncodeToString(h[:])
 }
 
-// cellSpec is one simulation point: the complete set of inputs that
-// determine a deterministic run's output. Its Key is the canonical
-// identity string and its Digest the content address under which the
-// result is cached and deduplicated.
-type cellSpec struct {
-	Workload string
-	Design   string
-	Mode     isa.Mode
-	Cores    int
-	Warm     uint64
-	Measure  uint64
-	Seed     int64
-}
-
-// Key is the canonical, human-readable cell identity. The "v1" prefix
-// versions the keying scheme: any change to what determines a result
-// (simulator semantics are pinned separately by the difftest suite) must
-// bump it so stale cache entries can never alias new cells.
-func (c cellSpec) Key() string {
-	mode := "fixed"
-	if c.Mode == isa.Variable {
-		mode = "variable"
-	}
-	return fmt.Sprintf("v1|w=%s|d=%s|m=%s|c=%d|warm=%d|meas=%d|seed=%d",
-		c.Workload, c.Design, mode, c.Cores, c.Warm, c.Measure, c.Seed)
-}
-
-// Digest is the cell's content address: SHA-256 of Key, hex-encoded.
-func (c cellSpec) Digest() string {
-	h := sha256.Sum256([]byte(c.Key()))
-	return hex.EncodeToString(h[:])
-}
-
-// runConfig builds the cell's simulation configuration exactly as the
-// bench harness does: preset workload parameters, catalog design
-// constructor, default core config with the design's prefetch-buffer size.
-func (c cellSpec) runConfig() sim.RunConfig {
-	designs, _ := specTables()
-	e := designs[c.Design] // validated at submission
-	cc := core.DefaultConfig()
-	cc.PrefetchBufferEntries = e.PrefetchBufferEntries
-	return sim.RunConfig{
-		Workload:      workloads.Params(c.Workload, c.Mode),
-		NewDesign:     e.New,
-		Cores:         c.Cores,
-		WarmCycles:    c.Warm,
-		MeasureCycles: c.Measure,
-		Seed:          c.Seed,
-		Core:          cc,
-	}
-}
+// cellSpec is one simulation point, shared with the worker plane: the wire
+// protocol owns the type (and its Key/Digest content addressing and
+// RunConfig construction) so the server and remote dncworker processes can
+// never disagree on cell identity or on how a cell executes. See
+// workerproto.CellSpec.
+type cellSpec = workerproto.CellSpec
 
 // ResultDigest content-addresses a result's canonical wire form. Two runs
 // of the same cell are bit-exact (deterministic simulator), so their

@@ -131,7 +131,7 @@ func TestCellRunConfigMatchesSpec(t *testing.T) {
 		Workload: "Web-Frontend", Design: "shotgun", Mode: isa.Fixed,
 		Cores: 3, Warm: 1111, Measure: 2222, Seed: 7,
 	}
-	rc := c.runConfig()
+	rc := c.RunConfig()
 	if rc.Workload.Name != "Web-Frontend" || rc.Cores != 3 ||
 		rc.WarmCycles != 1111 || rc.MeasureCycles != 2222 || rc.Seed != 7 {
 		t.Fatalf("runConfig = %+v, want spec fields carried over", rc)

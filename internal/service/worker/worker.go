@@ -1,0 +1,368 @@
+// Package worker is the remote execution plane's client side: the loop a
+// dncworker process runs against a dncserved control plane. It registers
+// for an identity, pulls leased cells in batches, executes them through the
+// same RunConfig construction the server's in-process pool uses (which is
+// what makes remote results bit-identical), uploads completions under the
+// cell's content address, and renews its leases by heartbeating at the
+// cadence the server dictates.
+//
+// The loop is built for an at-least-once world: a heartbeat answered with
+// revocations abandons those cells (the server has reassigned them), a 404
+// from any work-API call means the registration expired and the worker
+// re-registers from scratch, and every upload is safe to retry blindly
+// because the server acknowledges bit-identical duplicates idempotently.
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnc/internal/httpx"
+	"dnc/internal/service/workerproto"
+	"dnc/internal/sim"
+	"dnc/internal/sim/runner"
+)
+
+// Options configures one worker process.
+type Options struct {
+	// Server is the control plane's base URL (e.g. "http://127.0.0.1:9191").
+	Server string
+	// Name is the human-readable label sent at registration.
+	Name string
+	// Capacity is how many cells execute concurrently (default 1).
+	Capacity int
+	// LeaseBatch caps cells pulled per lease request on top of the server's
+	// own LeaseBatchMax (0 = the server's cap alone).
+	LeaseBatch int
+	// PollInterval is the idle re-poll cadence when the server has no work
+	// or a request fails (default 250ms).
+	PollInterval time.Duration
+	// CellTimeout bounds one cell's execution; expiry is reported to the
+	// server as a transient failure (default: no bound — the server's lease
+	// watchdog is the backstop).
+	CellTimeout time.Duration
+	// Client is the retrying HTTP client (default: 3 retries on transport
+	// errors and 429/502/503).
+	Client *httpx.RetryClient
+	// Run is the execution seam; nil runs the real simulator via
+	// CellSpec.RunConfig, exactly as the server's in-process pool does.
+	Run func(ctx context.Context, spec workerproto.CellSpec) (*runner.ResultJSON, error)
+	// FreezeAfter is a chaos hook: after this many completed cells the
+	// worker freezes — it keeps leasing nothing new, keeps heartbeating,
+	// holds its remaining leases, and never completes them — modeling a
+	// wedged process whose heartbeat thread survives. The server's
+	// per-lease progress budget is what must catch this. 0 disables.
+	FreezeAfter int
+	// Logf receives progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity <= 0 {
+		o.Capacity = 1
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 250 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &httpx.RetryClient{Retries: 3}
+	}
+	if o.Run == nil {
+		o.Run = defaultRun
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// defaultRun executes the cell for real. The RunConfig comes from the
+// shared wire-protocol package, so this is byte-for-byte the configuration
+// the server's own pool would build.
+func defaultRun(ctx context.Context, spec workerproto.CellSpec) (*runner.ResultJSON, error) {
+	res, err := sim.RunChecked(ctx, spec.RunConfig())
+	if err != nil {
+		return nil, err
+	}
+	return runner.NewResultJSON(res), nil
+}
+
+// errReregister flows through a session's context cause when a work-API
+// call returns 404: the registration expired (server restart, missed
+// heartbeats) and the worker must register again.
+var errReregister = errors.New("worker: registration expired")
+
+// errRevoked cancels one cell's execution when a heartbeat reports its
+// lease revoked; the cell is abandoned without an upload (the server has
+// already reassigned it).
+var errRevoked = errors.New("worker: lease revoked")
+
+// Run registers with the control plane and works until ctx is cancelled or
+// the server reports it is draining. Expired registrations re-register
+// transparently; only unrecoverable errors (or ctx's error) are returned.
+func Run(ctx context.Context, o Options) error {
+	o = o.withDefaults()
+	o.Server = strings.TrimRight(o.Server, "/")
+	for ctx.Err() == nil {
+		var reg workerproto.RegisterResponse
+		_, err := o.Client.PostJSON(ctx, o.Server+"/v1/workers/register",
+			workerproto.RegisterRequest{Name: o.Name, Capacity: o.Capacity}, &reg)
+		if err != nil {
+			return fmt.Errorf("worker: registering with %s: %w", o.Server, err)
+		}
+		o.Logf("registered as %s (ttl=%dms heartbeat=%dms batch<=%d)",
+			reg.WorkerID, reg.LeaseTTLMS, reg.HeartbeatMS, reg.LeaseBatchMax)
+		if err := runSession(ctx, o, reg); !errors.Is(err, errReregister) {
+			return err
+		}
+		o.Logf("%s: registration expired; registering again", reg.WorkerID)
+	}
+	return ctx.Err()
+}
+
+// session is one registration's lifetime: a heartbeat loop, a lease loop,
+// and up to Capacity concurrent cell executions.
+type session struct {
+	o   Options
+	reg workerproto.RegisterResponse
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu     sync.Mutex
+	active map[string]context.CancelCauseFunc // digest → cell cancel
+
+	slots     chan struct{} // capacity tokens; held while a cell is in flight
+	inflight  sync.WaitGroup
+	completed atomic.Uint64
+	frozen    atomic.Bool
+}
+
+func runSession(parent context.Context, o Options, reg workerproto.RegisterResponse) error {
+	ctx, cancel := context.WithCancelCause(parent)
+	defer cancel(nil)
+	s := &session{
+		o: o, reg: reg,
+		ctx: ctx, cancel: cancel,
+		active: make(map[string]context.CancelCauseFunc),
+		slots:  make(chan struct{}, o.Capacity),
+	}
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		s.heartbeatLoop()
+	}()
+	err := s.leaseLoop()
+	if errors.Is(err, errReregister) {
+		cancel(errReregister) // abandon in-flight cells: the leases are gone
+	}
+	// Let in-flight cells finish (drain) or unwind (cancelled); a frozen
+	// cell unwinds only when the parent context goes.
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-parent.Done():
+	}
+	cancel(nil)
+	<-hbDone
+	if err == nil {
+		err = parent.Err()
+	}
+	return err
+}
+
+func (s *session) url(path string) string { return s.o.Server + path }
+
+// activeDigests snapshots the cells currently held, for heartbeat
+// cross-checking.
+func (s *session) activeDigests() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.active))
+	for d := range s.active {
+		out = append(out, d)
+	}
+	return out
+}
+
+// heartbeatLoop beats at the server-dictated cadence, reporting held cells
+// and abandoning any the server has revoked. A 404 ends the session toward
+// re-registration; a transport failure is simply skipped — the TTL leaves
+// roughly three beats of slack.
+func (s *session) heartbeatLoop() {
+	t := time.NewTicker(time.Duration(s.reg.HeartbeatMS) * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+		}
+		var resp workerproto.HeartbeatResponse
+		status, err := s.o.Client.PostJSON(s.ctx,
+			s.url("/v1/workers/"+s.reg.WorkerID+"/heartbeat"),
+			workerproto.HeartbeatRequest{Active: s.activeDigests()}, &resp)
+		if status == http.StatusNotFound {
+			s.cancel(errReregister)
+			return
+		}
+		if err != nil {
+			continue
+		}
+		if s.frozen.Load() {
+			continue // a frozen worker's heartbeats land but nothing is processed
+		}
+		for _, digest := range resp.Revoked {
+			s.abandon(digest)
+		}
+	}
+}
+
+// abandon cancels a revoked cell's execution; the goroutine sees the
+// revocation cause and skips its upload.
+func (s *session) abandon(digest string) {
+	s.mu.Lock()
+	cancel, ok := s.active[digest]
+	s.mu.Unlock()
+	if ok {
+		s.o.Logf("%s: lease %.12s revoked; abandoning", s.reg.WorkerID, digest)
+		cancel(errRevoked)
+	}
+}
+
+// leaseLoop pulls work whenever capacity is free. Returns nil on drain or
+// parent cancellation, errReregister on a 404.
+func (s *session) leaseLoop() error {
+	for {
+		if err := s.ctx.Err(); err != nil {
+			if cause := context.Cause(s.ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+				return cause
+			}
+			return nil
+		}
+		free := cap(s.slots) - len(s.slots)
+		if s.frozen.Load() || free == 0 {
+			s.pause()
+			continue
+		}
+		max := free
+		if s.o.LeaseBatch > 0 && max > s.o.LeaseBatch {
+			max = s.o.LeaseBatch
+		}
+		var resp workerproto.LeaseResponse
+		status, err := s.o.Client.PostJSON(s.ctx,
+			s.url("/v1/workers/"+s.reg.WorkerID+"/lease"),
+			workerproto.LeaseRequest{Max: max}, &resp)
+		if status == http.StatusNotFound {
+			return errReregister
+		}
+		if err != nil {
+			s.pause()
+			continue
+		}
+		if resp.Draining {
+			s.o.Logf("%s: server draining; finishing %d held cell(s)", s.reg.WorkerID, len(s.slots))
+			return nil
+		}
+		for _, l := range resp.Leases {
+			s.slots <- struct{}{} // cannot block: max ≤ free and only this loop acquires
+			s.startCell(l)
+		}
+		if len(resp.Leases) == 0 {
+			s.pause()
+		}
+	}
+}
+
+// pause sleeps one poll interval, reporting false if the session ended.
+func (s *session) pause() bool {
+	select {
+	case <-s.ctx.Done():
+		return false
+	case <-time.After(s.o.PollInterval):
+		return true
+	}
+}
+
+// startCell launches one leased cell's execution on its own goroutine with
+// its own cancel (so a heartbeat revocation aborts just that cell).
+func (s *session) startCell(l workerproto.Lease) {
+	cctx, ccancel := context.WithCancelCause(s.ctx)
+	s.mu.Lock()
+	s.active[l.Digest] = ccancel
+	s.mu.Unlock()
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		s.runCell(cctx, l)
+		s.mu.Lock()
+		delete(s.active, l.Digest)
+		s.mu.Unlock()
+		ccancel(nil)
+		<-s.slots
+	}()
+}
+
+// runCell executes one lease and uploads the outcome. An execution
+// cancelled by revocation or session teardown uploads nothing — the server
+// has reassigned (or no longer wants) the cell.
+func (s *session) runCell(ctx context.Context, l workerproto.Lease) {
+	if !l.Spec.Valid() || l.Spec.Digest() != l.Digest {
+		s.complete(l, nil, fmt.Errorf("lease %.12s carries an invalid or mismatched spec", l.Digest), false)
+		return
+	}
+	rctx := ctx
+	if s.o.CellTimeout > 0 {
+		var rcancel context.CancelFunc
+		rctx, rcancel = context.WithTimeout(ctx, s.o.CellTimeout)
+		defer rcancel()
+	}
+	res, err := s.o.Run(rctx, l.Spec)
+	if ctx.Err() != nil {
+		return // revoked or session over: abandon without an upload
+	}
+	if err != nil {
+		s.complete(l, nil, err, errors.Is(err, context.DeadlineExceeded))
+		return
+	}
+	if s.o.FreezeAfter > 0 && s.completed.Load() >= uint64(s.o.FreezeAfter) {
+		// Chaos: wedge after the budgeted completions — result computed,
+		// upload never sent, lease held until the server's watchdog acts.
+		if s.frozen.CompareAndSwap(false, true) {
+			s.o.Logf("%s: FROZEN (chaos hook): holding lease %.12s, heartbeats continue", s.reg.WorkerID, l.Digest)
+		}
+		<-s.ctx.Done()
+		return
+	}
+	s.complete(l, res, nil, false)
+	s.completed.Add(1)
+}
+
+// complete uploads one outcome under the cell's content address. Retries
+// inside the client are safe — the server deduplicates bit-identical
+// results — and a rejected upload is logged and dropped: the lease will
+// expire and the cell re-run elsewhere.
+func (s *session) complete(l workerproto.Lease, res *runner.ResultJSON, execErr error, transient bool) {
+	req := workerproto.CompleteRequest{WorkerID: s.reg.WorkerID, Spec: l.Spec, Result: res}
+	if execErr != nil {
+		req.Error = execErr.Error()
+		req.Transient = transient
+	}
+	var resp workerproto.CompleteResponse
+	status, err := s.o.Client.PostJSON(s.ctx, s.url("/v1/cells/"+l.Digest+"/complete"), req, &resp)
+	if err != nil {
+		s.o.Logf("%s: uploading %.12s failed (status %d): %v", s.reg.WorkerID, l.Digest, status, err)
+		return
+	}
+	s.o.Logf("%s: cell %.12s %s", s.reg.WorkerID, l.Digest, resp.Status)
+}

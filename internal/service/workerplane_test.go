@@ -1,0 +1,364 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnc/internal/httpx"
+	"dnc/internal/service/faultplane"
+	"dnc/internal/service/worker"
+	"dnc/internal/service/workerproto"
+	"dnc/internal/sim"
+	"dnc/internal/sim/runner"
+)
+
+// ---- worker-plane integration ----
+//
+// These tests run real worker.Run loops (in-process goroutines) against a
+// real server over HTTP, with real (tiny) simulations, so the property under
+// test is the acceptance property itself: results computed by remote
+// workers are bit-identical to local execution, and no failure mode loses
+// or double-admits a cell.
+
+// startWorker runs a worker loop until the test ends (or stop is called).
+func (e *testEnv) startWorker(o worker.Options) (stop func()) {
+	e.t.Helper()
+	if o.Server == "" {
+		o.Server = e.base
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = 10 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		err := worker.Run(ctx, o)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			e.t.Errorf("[%s] worker %s: %v", e.id, o.Name, err)
+		}
+	}()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+	e.t.Cleanup(stop)
+	return stop
+}
+
+// localDigests computes, fresh and in-process, the canonical result digest
+// of every cell in the spec — the bit-exactness reference the remote
+// results must match.
+func localDigests(t *testing.T, spec Spec) map[string]string {
+	t.Helper()
+	want := make(map[string]string)
+	for _, c := range spec.normalized().cells() {
+		res, err := sim.RunChecked(context.Background(), c.RunConfig())
+		if err != nil {
+			t.Fatalf("local reference run for %s: %v", c.Key(), err)
+		}
+		want[c.Digest()] = ResultDigest(runner.NewResultJSON(res))
+	}
+	return want
+}
+
+// checkOutcomes asserts every streamed outcome digest-matches the local
+// reference and counts how many were remotely simulated.
+func checkOutcomes(t *testing.T, e *testEnv, jobID string, want map[string]string) {
+	t.Helper()
+	lines := e.streamResults(jobID)
+	if len(lines) != len(want) {
+		t.Fatalf("streamed %d outcomes, want %d", len(lines), len(want))
+	}
+	for _, l := range lines {
+		wd, ok := want[l.Digest]
+		if !ok {
+			t.Fatalf("outcome for unexpected cell %s", l.Digest)
+		}
+		if l.ResultDigest != wd {
+			t.Errorf("cell %s: result digest %s, want %s (not bit-identical to local run)", l.Key, l.ResultDigest, wd)
+		}
+		if l.Result == nil || ResultDigest(l.Result) != wd {
+			t.Errorf("cell %s: streamed result body does not match its digest", l.Key)
+		}
+	}
+}
+
+func TestWorkerPlaneRemoteExecution(t *testing.T) {
+	e := newTestEnv(t, func(c *Config) {
+		c.LeaseTTL = 2 * time.Second
+	})
+	e.startWorker(worker.Options{Name: "w1", Capacity: 2})
+
+	waitFor(t, "worker registration", func() bool {
+		return e.srv.Stats().WorkersLive == 1
+	})
+	if e.srv.Stats().Degraded {
+		t.Fatal("Degraded true with a live worker")
+	}
+
+	spec := smallSpec()
+	spec.Seeds = []int64{1, 2}
+	want := localDigests(t, spec)
+
+	st := e.submit(spec)
+	if fin := e.waitJob(st.ID); fin.State != JobDone {
+		t.Fatalf("job state %s, want done", fin.State)
+	}
+	checkOutcomes(t, e, st.ID, want)
+
+	stats := e.srv.Stats()
+	if stats.RemoteAdmitted != 2 {
+		t.Fatalf("RemoteAdmitted = %d, want 2 (both cells executed remotely)", stats.RemoteAdmitted)
+	}
+	if stats.RemoteRejected != 0 {
+		t.Fatalf("RemoteRejected = %d, want 0", stats.RemoteRejected)
+	}
+
+	// The healthz satellite: worker counts and lease depth are on the
+	// health endpoint for operators.
+	var hz struct {
+		Status string `json:"status"`
+		Stats
+	}
+	if code := e.getJSON("/v1/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if hz.WorkersRegistered != 1 || hz.WorkersLive != 1 {
+		t.Fatalf("healthz worker counts = %d registered / %d live, want 1/1", hz.WorkersRegistered, hz.WorkersLive)
+	}
+}
+
+// TestWorkerPlaneDegradedFallback: zero registered workers is not an error
+// but the single-process mode every pre-worker-plane deployment runs in.
+func TestWorkerPlaneDegradedFallback(t *testing.T) {
+	e := newTestEnv(t, func(c *Config) { c.RunCell = fakeRunCell })
+	if st := e.srv.Stats(); !st.Degraded {
+		t.Fatal("Degraded false with zero workers")
+	}
+	js := e.submit(smallSpec())
+	if fin := e.waitJob(js.ID); fin.State != JobDone {
+		t.Fatalf("job state %s, want done", fin.State)
+	}
+	if st := e.srv.Stats(); st.RemoteAdmitted != 0 {
+		t.Fatalf("RemoteAdmitted = %d in degraded mode, want 0", st.RemoteAdmitted)
+	}
+}
+
+// gateTransport fails every request while closed — a deterministic network
+// partition between one worker and the server.
+type gateTransport struct {
+	blocked atomic.Bool
+}
+
+func (g *gateTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if g.blocked.Load() {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errors.New("gate: partitioned")
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// TestWorkerReregistersAfterPartition: a worker partitioned past its TTL is
+// reaped; when the network heals it must notice the 404 and re-register,
+// and the plane must end up healthy again.
+func TestWorkerReregistersAfterPartition(t *testing.T) {
+	e := newTestEnv(t, func(c *Config) {
+		c.LeaseTTL = 400 * time.Millisecond
+		c.RunCell = fakeRunCell // job execution is not under test here
+	})
+	gate := &gateTransport{}
+	e.startWorker(worker.Options{
+		Name:     "flaky",
+		Capacity: 1,
+		Client:   &httpx.RetryClient{C: &http.Client{Transport: gate}, Retries: 0},
+	})
+
+	waitFor(t, "initial registration", func() bool { return e.srv.Stats().WorkersLive == 1 })
+	gate.blocked.Store(true)
+	waitFor(t, "partitioned worker reaped", func() bool {
+		st := e.srv.Stats()
+		return st.WorkersLive == 0 && st.WorkersExpired == 1
+	})
+	gate.blocked.Store(false)
+	waitFor(t, "re-registration", func() bool {
+		st := e.srv.Stats()
+		return st.WorkersLive == 1 && st.WorkersRegistered == 2
+	})
+}
+
+// TestWorkerPlaneFrozenWorkerRecovery: a worker that completes one cell and
+// then wedges — heartbeats flowing, no progress — holds its leases until
+// the per-lease budget expires; the healthy worker inherits the cells and
+// the sweep still produces bit-identical results with no cell admitted
+// twice.
+func TestWorkerPlaneFrozenWorkerRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frozen-worker recovery waits out a real lease budget")
+	}
+	e := newTestEnv(t, func(c *Config) {
+		c.LeaseTTL = 5 * time.Second
+		c.LeaseMaxAge = 1 * time.Second
+		c.LeaseBatchMax = 1 // spread cells across both workers
+	})
+	e.startWorker(worker.Options{Name: "frozen", Capacity: 1, FreezeAfter: 1})
+	e.startWorker(worker.Options{Name: "healthy", Capacity: 1})
+	waitFor(t, "both workers live", func() bool { return e.srv.Stats().WorkersLive == 2 })
+
+	spec := smallSpec()
+	spec.Seeds = []int64{1, 2, 3, 4}
+	want := localDigests(t, spec)
+
+	js := e.submit(spec)
+	if fin := e.waitJob(js.ID); fin.State != JobDone {
+		t.Fatalf("job state %s, want done", fin.State)
+	}
+	checkOutcomes(t, e, js.ID, want)
+
+	st := e.srv.Stats()
+	if st.RemoteAdmitted != uint64(len(want)) {
+		t.Fatalf("RemoteAdmitted = %d, want %d (each cell admitted exactly once)", st.RemoteAdmitted, len(want))
+	}
+	if st.Reassigned == 0 {
+		t.Fatal("Reassigned = 0: the frozen worker's lease was never revoked")
+	}
+}
+
+// TestWorkerPlaneFaultChaos drives a two-worker sweep through a seeded
+// fault plane — dropped, duplicated, delayed, and torn requests on every
+// API call — and requires the distributed answer to be bit-identical to
+// local execution with every cell admitted exactly once.
+func TestWorkerPlaneFaultChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault chaos runs real sweeps through an unreliable network")
+	}
+	e := newTestEnv(t, func(c *Config) {
+		c.LeaseTTL = 2 * time.Second
+		c.LeaseMaxAge = 3 * time.Second
+		c.LeaseBatchMax = 2
+	})
+	for i := 0; i < 2; i++ {
+		tr := faultplane.NewTransport(int64(1000+i), nil, faultplane.Faults{
+			Drop:     0.15,
+			Dup:      0.15,
+			Tear:     0.10,
+			Delay:    0.25,
+			MaxDelay: 25 * time.Millisecond,
+		})
+		e.startWorker(worker.Options{
+			Name:     fmt.Sprintf("chaotic-%d", i),
+			Capacity: 2,
+			Client:   &httpx.RetryClient{C: &http.Client{Transport: tr}, Retries: 6, Backoff: 5 * time.Millisecond},
+		})
+	}
+	waitFor(t, "workers live", func() bool { return e.srv.Stats().WorkersLive >= 1 })
+
+	spec := smallSpec()
+	spec.Seeds = []int64{1, 2, 3, 4, 5}
+	want := localDigests(t, spec)
+
+	js := e.submit(spec)
+	if fin := e.waitJob(js.ID); fin.State != JobDone {
+		t.Fatalf("job state %s, want done", fin.State)
+	}
+	checkOutcomes(t, e, js.ID, want)
+
+	st := e.srv.Stats()
+	if st.RemoteAdmitted > uint64(len(want)) {
+		t.Fatalf("RemoteAdmitted = %d > %d cells: a cell was admitted twice", st.RemoteAdmitted, len(want))
+	}
+	t.Logf("chaos run: admitted=%d dup=%d rejected=%d reassigned=%d",
+		st.RemoteAdmitted, st.RemoteDuplicates, st.RemoteRejected, st.Reassigned)
+}
+
+// TestCompleteAdmissionVerification exercises the upload admission gate
+// over raw HTTP: digest mismatches and identity mismatches are refused,
+// unsolicited uploads are 404, duplicates are idempotent, and a
+// non-identical duplicate is a 409 determinism violation.
+func TestCompleteAdmissionVerification(t *testing.T) {
+	e := newTestEnv(t, func(c *Config) { c.LeaseTTL = time.Minute })
+	rc := &httpx.RetryClient{}
+	ctx := context.Background()
+
+	var reg workerproto.RegisterResponse
+	if _, err := rc.PostJSON(ctx, e.base+"/v1/workers/register",
+		workerproto.RegisterRequest{Name: "t", Capacity: 1}, &reg); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := workerproto.CellSpec{Workload: "Web-Frontend", Design: "baseline", Cores: 2, Warm: 600, Measure: 600, Seed: 1}
+	good := &runner.ResultJSON{Workload: spec.Workload, Design: spec.Design}
+
+	// Unsolicited upload: the cell was never enqueued → 404, nothing cached.
+	code, err := rc.PostJSON(ctx, e.base+"/v1/cells/"+spec.Digest()+"/complete",
+		workerproto.CompleteRequest{WorkerID: reg.WorkerID, Spec: spec, Result: good}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unsolicited upload = %d (%v), want 404", code, err)
+	}
+
+	// Wrong address: spec digest != URL digest → 400.
+	other := spec
+	other.Seed = 99
+	code, _ = rc.PostJSON(ctx, e.base+"/v1/cells/"+other.Digest()+"/complete",
+		workerproto.CompleteRequest{WorkerID: reg.WorkerID, Spec: spec, Result: good}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("mismatched digest upload = %d, want 400", code)
+	}
+
+	// Result identity fields disagreeing with the spec → 400.
+	bad := &runner.ResultJSON{Workload: "OLTP-DB-A", Design: spec.Design}
+	ch, cancel := e.srv.dispatch.enqueue(spec)
+	defer cancel()
+	code, _ = rc.PostJSON(ctx, e.base+"/v1/cells/"+spec.Digest()+"/complete",
+		workerproto.CompleteRequest{WorkerID: reg.WorkerID, Spec: spec, Result: bad}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("identity-mismatched upload = %d, want 400", code)
+	}
+
+	// A legitimate upload for the outstanding cell admits and wakes the waiter.
+	var resp workerproto.CompleteResponse
+	code, err = rc.PostJSON(ctx, e.base+"/v1/cells/"+spec.Digest()+"/complete",
+		workerproto.CompleteRequest{WorkerID: reg.WorkerID, Spec: spec, Result: good}, &resp)
+	if err != nil || code != http.StatusOK || resp.Status != workerproto.StatusAdmitted {
+		t.Fatalf("admit = %d %q (%v), want 200 %q", code, resp.Status, err, workerproto.StatusAdmitted)
+	}
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			t.Fatalf("waiter error: %v", out.err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken by admission")
+	}
+
+	// At-least-once redelivery of the identical result: idempotent duplicate.
+	code, err = rc.PostJSON(ctx, e.base+"/v1/cells/"+spec.Digest()+"/complete",
+		workerproto.CompleteRequest{WorkerID: reg.WorkerID, Spec: spec, Result: good}, &resp)
+	if err != nil || code != http.StatusOK || resp.Status != workerproto.StatusDuplicate {
+		t.Fatalf("duplicate = %d %q (%v), want 200 %q", code, resp.Status, err, workerproto.StatusDuplicate)
+	}
+
+	// Same cell, different bytes: a determinism violation must be refused.
+	forged := &runner.ResultJSON{Workload: spec.Workload, Design: spec.Design, NoCFlits: 7}
+	code, _ = rc.PostJSON(ctx, e.base+"/v1/cells/"+spec.Digest()+"/complete",
+		workerproto.CompleteRequest{WorkerID: reg.WorkerID, Spec: spec, Result: forged}, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("non-identical duplicate = %d, want 409", code)
+	}
+
+	st := e.srv.Stats()
+	if st.RemoteAdmitted != 1 || st.RemoteDuplicates != 1 || st.RemoteRejected != 4 {
+		t.Fatalf("admission counters = %+v, want 1 admitted / 1 duplicate / 4 rejected", st.dispatchStats)
+	}
+}
