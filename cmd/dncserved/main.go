@@ -36,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,7 +61,15 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", service.DefaultLeaseTTL, "worker heartbeat window; silent workers forfeit their leases")
 	leaseMaxAge := flag.Duration("lease-max-age", service.DefaultLeaseMaxAge, "per-lease progress budget; frozen workers' cells reassign after this")
 	leaseBatch := flag.Int("lease-batch", service.DefaultLeaseBatchMax, "max cells per worker lease request")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "dncserved: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv, err := service.New(service.Config{
 		DataDir:         *data,
@@ -76,6 +85,7 @@ func main() {
 		LeaseTTL:        *leaseTTL,
 		LeaseMaxAge:     *leaseMaxAge,
 		LeaseBatchMax:   *leaseBatch,
+		Logger:          logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dncserved: %v\n", err)
@@ -85,7 +95,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dncserved: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "dncserved: serving on http://%s (data %s)\n", srv.Addr(), *data)
+	logger.Info("serving", "addr", "http://"+srv.Addr(), "data", *data,
+		"metrics", "http://"+srv.Addr()+"/metrics")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	<-ctx.Done()

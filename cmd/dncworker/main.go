@@ -18,6 +18,11 @@
 // SIGINT/SIGTERM abandons held leases immediately (they expire server-side
 // within one TTL); the server telling us it is draining lets in-flight
 // cells finish first. See docs/OPERATIONS.md for topology and tuning.
+//
+// With -metrics-addr set the worker serves its own Prometheus /metrics
+// (completed/failed/abandoned cells, lease revocations, HTTP retries by
+// status). At exit the worker prints a terminal summary: its counters plus
+// the most recent cell failures with worker and cell context.
 package main
 
 import (
@@ -25,7 +30,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,12 +48,33 @@ func main() {
 	leaseBatch := flag.Int("lease-batch", 0, "max cells per lease request (0 = server's cap)")
 	poll := flag.Duration("poll", 250*time.Millisecond, "idle re-poll cadence")
 	cellTimeout := flag.Duration("cell-timeout", 10*time.Minute, "per-cell execution bound, reported transient (0 = none)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	logger := log.New(os.Stderr, "dncworker: ", log.LstdFlags)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "dncworker: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	tel := worker.NewTelemetry()
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dncworker: metrics listen %s: %v\n", *metricsAddr, err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", tel.Reg.Handler())
+		go http.Serve(ln, mux)
+		logger.Info("metrics serving", "addr", ln.Addr().String())
+	}
+
 	err := worker.Run(ctx, worker.Options{
 		Server:       *server,
 		Name:         *name,
@@ -54,13 +82,17 @@ func main() {
 		LeaseBatch:   *leaseBatch,
 		PollInterval: *poll,
 		CellTimeout:  *cellTimeout,
-		Logf:         logger.Printf,
+		Log:          logger,
+		Telemetry:    tel,
 	})
+	if s := tel.Summary(); s != "" {
+		fmt.Fprintf(os.Stderr, "dncworker: session summary: %s\n", s)
+	}
 	if err != nil && !errors.Is(err, context.Canceled) {
-		fmt.Fprintf(os.Stderr, "dncworker: %v\n", err)
+		logger.Error("exiting on error", "err", err.Error())
 		os.Exit(1)
 	}
-	logger.Printf("exiting cleanly")
+	logger.Info("exiting cleanly")
 }
 
 func defaultName() string {

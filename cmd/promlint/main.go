@@ -1,0 +1,49 @@
+// Command promlint validates Prometheus text exposition read from stdin
+// against the format rules in internal/telemetry: HELP/TYPE precede their
+// samples, counters end in _total (or _seconds/_bytes for unit'd counters),
+// histogram buckets are cumulative and end with +Inf, every sample parses.
+//
+// Usage:
+//
+//	curl -fsS http://server:8080/metrics | promlint
+//
+// Exit status 0 when the exposition is clean, 1 with one line per problem
+// on stderr otherwise. CI pipes a live dncserved scrape through this so a
+// malformed metric can never ship.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dnc/internal/telemetry"
+)
+
+func main() {
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(body) == 0 {
+		fmt.Fprintln(os.Stderr, "promlint: empty exposition (scrape failed?)")
+		os.Exit(1)
+	}
+	errs := telemetry.Lint(body)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d problem(s)\n", len(errs))
+		os.Exit(1)
+	}
+	samples := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			samples++
+		}
+	}
+	fmt.Printf("promlint: clean (%d samples)\n", samples)
+}

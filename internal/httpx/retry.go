@@ -37,6 +37,13 @@ type RetryClient struct {
 	// (default a timer).
 	Rand  func() float64
 	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when set, observes every retry as it is scheduled, with the
+	// status code that caused it (0 = transport error, no response). OnGiveUp
+	// observes a retryable failure abandoned because the retry budget ran
+	// out, with the final status. Both exist so a metrics layer can count
+	// retry pressure per status without wrapping the transport.
+	OnRetry  func(status int)
+	OnGiveUp func(status int)
 }
 
 // retryableStatus reports whether a response status code is worth retrying.
@@ -57,6 +64,13 @@ const maxRetryBody = 16 << 20
 // error carrying the response body's leading bytes. Status 0 means no
 // attempt produced a response.
 func (rc *RetryClient) PostJSON(ctx context.Context, url string, in, out any) (int, error) {
+	return rc.PostJSONHeaders(ctx, url, nil, in, out)
+}
+
+// PostJSONHeaders is PostJSON with extra request headers on every attempt
+// (the worker plane's trace-propagation path: trace, span, and worker IDs
+// ride as X-DNC-* headers so server logs stitch to worker attempts).
+func (rc *RetryClient) PostJSONHeaders(ctx context.Context, url string, hdr map[string]string, in, out any) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, fmt.Errorf("httpx: encoding request for %s: %w", url, err)
@@ -99,6 +113,9 @@ func (rc *RetryClient) PostJSON(ctx context.Context, url string, in, out any) (i
 			return 0, fmt.Errorf("httpx: building request for %s: %w", url, err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
 		resp, err := client.Do(req)
 		switch {
 		case err != nil:
@@ -125,7 +142,13 @@ func (rc *RetryClient) PostJSON(ctx context.Context, url string, in, out any) (i
 			}
 		}
 		if attempt >= rc.Retries {
+			if rc.OnGiveUp != nil {
+				rc.OnGiveUp(lastStatus)
+			}
 			return lastStatus, lastErr
+		}
+		if rc.OnRetry != nil {
+			rc.OnRetry(lastStatus)
 		}
 		// Equal jitter: half the exponential step fixed, half uniform
 		// random, so a fleet of workers retrying after one server restart

@@ -133,3 +133,116 @@ func TestRetryClientContextCancelDuringBackoff(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestRetryClientExhaustionFiresGiveUp pins the observation seams on the
+// exhaustion path: every scheduled retry reports the status that caused it,
+// and OnGiveUp fires exactly once with the final status when the budget
+// runs out. The Sleep seam stands in for the clock — no real waiting.
+func TestRetryClientExhaustionFiresGiveUp(t *testing.T) {
+	h, seen := flakyHandler(100, http.StatusServiceUnavailable)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	var retries, giveUps []int
+	rc := &RetryClient{
+		Retries:  3,
+		Sleep:    func(context.Context, time.Duration) error { return nil },
+		OnRetry:  func(status int) { retries = append(retries, status) },
+		OnGiveUp: func(status int) { giveUps = append(giveUps, status) },
+	}
+	status, err := rc.PostJSON(context.Background(), srv.URL, map[string]string{}, nil)
+	if status != http.StatusServiceUnavailable || err == nil {
+		t.Fatalf("status=%d err=%v, want 503 with error after exhaustion", status, err)
+	}
+	if seen.Load() != 4 {
+		t.Fatalf("%d attempts, want 4 (1 + 3 retries)", seen.Load())
+	}
+	if len(retries) != 3 {
+		t.Fatalf("OnRetry fired %d times, want 3", len(retries))
+	}
+	for i, s := range retries {
+		if s != http.StatusServiceUnavailable {
+			t.Fatalf("OnRetry[%d] status = %d, want 503", i, s)
+		}
+	}
+	if len(giveUps) != 1 || giveUps[0] != http.StatusServiceUnavailable {
+		t.Fatalf("OnGiveUp = %v, want exactly [503]", giveUps)
+	}
+}
+
+// TestRetryClientExhaustionTransportStatusZero: transport errors (no
+// response at all) report status 0 through both seams.
+func TestRetryClientExhaustionTransportStatusZero(t *testing.T) {
+	h, _ := flakyHandler(0, 0)
+	srv := httptest.NewServer(h)
+	srv.Close() // connection refused from now on
+	var retries, giveUps []int
+	rc := &RetryClient{
+		Retries:  2,
+		Sleep:    func(context.Context, time.Duration) error { return nil },
+		OnRetry:  func(status int) { retries = append(retries, status) },
+		OnGiveUp: func(status int) { giveUps = append(giveUps, status) },
+	}
+	status, err := rc.PostJSON(context.Background(), srv.URL, map[string]string{}, nil)
+	if status != 0 || err == nil {
+		t.Fatalf("status=%d err=%v, want 0 with transport error", status, err)
+	}
+	if want := []int{0, 0}; len(retries) != 2 || retries[0] != 0 || retries[1] != 0 {
+		t.Fatalf("OnRetry statuses = %v, want %v", retries, want)
+	}
+	if len(giveUps) != 1 || giveUps[0] != 0 {
+		t.Fatalf("OnGiveUp = %v, want exactly [0]", giveUps)
+	}
+}
+
+// TestRetryClientTerminalStatusSkipsHooks: an immediately-terminal status
+// (404) is not a retry and not a give-up — it is the protocol's answer.
+func TestRetryClientTerminalStatusSkipsHooks(t *testing.T) {
+	h, _ := flakyHandler(100, http.StatusNotFound)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	fired := 0
+	rc := &RetryClient{
+		Retries:  5,
+		Sleep:    func(context.Context, time.Duration) error { return nil },
+		OnRetry:  func(int) { fired++ },
+		OnGiveUp: func(int) { fired++ },
+	}
+	if status, err := rc.PostJSON(context.Background(), srv.URL, map[string]string{}, nil); status != http.StatusNotFound || err == nil {
+		t.Fatalf("status=%d err=%v, want 404 with error", status, err)
+	}
+	if fired != 0 {
+		t.Fatalf("hooks fired %d times on a terminal status, want 0", fired)
+	}
+}
+
+// TestRetryClientHeadersOnEveryAttempt: PostJSONHeaders resends the extra
+// headers (the trace-propagation path) on each attempt, not just the first.
+func TestRetryClientHeadersOnEveryAttempt(t *testing.T) {
+	var got []string
+	var seen atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, r.Header.Get("X-DNC-Trace-Id"))
+		if seen.Add(1) <= 2 {
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	rc := &RetryClient{
+		Retries: 3,
+		Sleep:   func(context.Context, time.Duration) error { return nil },
+	}
+	hdr := map[string]string{"X-DNC-Trace-Id": "deadbeefcafef00d"}
+	if status, err := rc.PostJSONHeaders(context.Background(), srv.URL, hdr, map[string]string{}, nil); status != http.StatusOK || err != nil {
+		t.Fatalf("status=%d err=%v, want 200", status, err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d attempts, want 3", len(got))
+	}
+	for i, v := range got {
+		if v != "deadbeefcafef00d" {
+			t.Fatalf("attempt %d trace header = %q, want it resent on every attempt", i, v)
+		}
+	}
+}

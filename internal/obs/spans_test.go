@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteSpanTrace(t *testing.T) {
+	spans := []Span{
+		{Track: "cell a", Lane: "phases", Name: "queue-wait", Ts: 0, Dur: 100},
+		{Track: "cell a", Lane: "phases", Name: "execute", Ts: 100, Dur: 300},
+		{Track: "cell a", Lane: "attempts", Name: "attempt 1", Ts: 100, Dur: 300,
+			Args: map[string]any{"worker": "w000001"}},
+		{Track: "cell b", Lane: "phases", Name: "cached", Ts: 50, Dur: 0},
+	}
+	var b strings.Builder
+	if err := WriteSpanTrace(&b, spans, SpanTraceMeta{Name: "job-1", Clock: "us"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.OtherData["name"] != "job-1" {
+		t.Fatalf("otherData %+v", doc.OtherData)
+	}
+	// Track/lane metadata: 2 processes, 3 threads total.
+	var procs, threads int
+	pidByName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Name {
+		case "process_name":
+			procs++
+			pidByName[ev.Args["name"].(string)] = ev.Pid
+		case "thread_name":
+			threads++
+		}
+	}
+	if procs != 2 || threads != 3 {
+		t.Fatalf("procs=%d threads=%d, want 2/3", procs, threads)
+	}
+	if pidByName["cell a"] == pidByName["cell b"] {
+		t.Fatal("tracks share a pid")
+	}
+	// Zero-duration spans render as instants; others as complete slices.
+	for _, ev := range doc.TraceEvents {
+		switch ev.Name {
+		case "cached":
+			if ev.Ph != "i" {
+				t.Fatalf("zero-dur span ph=%q, want i", ev.Ph)
+			}
+		case "execute", "queue-wait", "attempt 1":
+			if ev.Ph != "X" {
+				t.Fatalf("span %s ph=%q, want X", ev.Name, ev.Ph)
+			}
+		}
+	}
+	// Deterministic: same input, same bytes.
+	var b2 strings.Builder
+	WriteSpanTrace(&b2, spans, SpanTraceMeta{Name: "job-1", Clock: "us"})
+	if b.String() != b2.String() {
+		t.Fatal("span trace export not deterministic")
+	}
+}

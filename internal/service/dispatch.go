@@ -3,11 +3,14 @@ package service
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"time"
 
 	"dnc/internal/service/workerproto"
 	"dnc/internal/sim"
+	"dnc/internal/telemetry"
 )
 
 // The distributed worker plane. The dispatcher is the server side of the
@@ -62,6 +65,10 @@ type remoteCell struct {
 	spec    workerproto.CellSpec
 	waiters []chan remoteOutcome
 	leased  bool // held by a worker right now (not in pending)
+	// traceID is the submitting job's trace (first submitter wins when dedup
+	// funnels several jobs onto one cell); it rides on every lease so worker
+	// attempts stitch into the server timeline.
+	traceID string
 }
 
 // workerState is one live registered worker.
@@ -121,6 +128,11 @@ type dispatcher struct {
 	pending []*remoteCell           // FIFO; reassigned cells go to the front
 
 	st dispatchStats
+
+	// rec and log are set by the owning Server after construction (nil rec =
+	// telemetry disabled; both are never reassigned once the server starts).
+	rec *telemetry.Recorder
+	log *slog.Logger
 }
 
 func newDispatcher(now func() time.Time, ttl, maxAge time.Duration, batchMax int) *dispatcher {
@@ -143,6 +155,7 @@ func newDispatcher(now func() time.Time, ttl, maxAge time.Duration, batchMax int
 		batchMax: batchMax,
 		workers:  make(map[string]*workerState),
 		byCell:   make(map[string]*remoteCell),
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 }
 
@@ -160,6 +173,7 @@ func (d *dispatcher) register(name string, capacity int) workerproto.RegisterRes
 		leases:   make(map[string]*lease),
 	}
 	d.workers[w.id] = w
+	d.log.Info("worker registered", "worker", w.id, "name", name, "capacity", capacity)
 	return workerproto.RegisterResponse{
 		WorkerID:      w.id,
 		LeaseTTLMS:    d.ttl.Milliseconds(),
@@ -195,7 +209,16 @@ func (d *dispatcher) lease(workerID string, max int) ([]workerproto.Lease, error
 		d.pending = d.pending[1:]
 		c.leased = true
 		w.leases[c.digest] = &lease{cell: c, worker: w, grantedAt: d.now()}
-		out = append(out, workerproto.Lease{Digest: c.digest, Key: c.spec.Key(), Spec: c.spec})
+		l := workerproto.Lease{Digest: c.digest, Key: c.spec.Key(), Spec: c.spec}
+		if c.traceID != "" {
+			l.TraceID = c.traceID
+			l.SpanID = telemetry.SpanID(c.digest)
+		}
+		out = append(out, l)
+		d.rec.ExecStart(c.digest, w.id)
+	}
+	if len(out) > 0 {
+		d.log.Debug("leases granted", "worker", w.id, "cells", len(out))
 	}
 	return out, nil
 }
@@ -244,6 +267,9 @@ func (d *dispatcher) revokeLocked(l *lease) {
 	l.cell.leased = false
 	d.pending = append([]*remoteCell{l.cell}, d.pending...)
 	d.st.Reassigned++
+	d.rec.ExecEnd(l.cell.digest, l.worker.id, "revoked")
+	d.log.Warn("lease revoked", "span", telemetry.SpanID(l.cell.digest), "worker", l.worker.id,
+		"held", d.now().Sub(l.grantedAt).String())
 }
 
 // expireLocked reaps workers whose heartbeat window lapsed, reassigning
@@ -253,6 +279,7 @@ func (d *dispatcher) expireLocked() {
 	now := d.now()
 	for id, w := range d.workers {
 		if now.After(w.expiry) {
+			d.log.Warn("worker expired", "worker", id, "name", w.name, "leases", len(w.leases))
 			for _, l := range w.leases {
 				d.revokeLocked(l)
 			}
@@ -298,13 +325,13 @@ func (d *dispatcher) active() bool {
 // outcome arrives on plus a cancel function (the waiter's job was cancelled
 // or timed out; the cell is dropped once its last waiter leaves and it is
 // not currently leased).
-func (d *dispatcher) enqueue(spec workerproto.CellSpec) (<-chan remoteOutcome, func()) {
+func (d *dispatcher) enqueue(spec workerproto.CellSpec, traceID string) (<-chan remoteOutcome, func()) {
 	digest := spec.Digest()
 	ch := make(chan remoteOutcome, 1)
 	d.mu.Lock()
 	c, ok := d.byCell[digest]
 	if !ok {
-		c = &remoteCell{digest: digest, spec: spec}
+		c = &remoteCell{digest: digest, spec: spec, traceID: traceID}
 		d.byCell[digest] = c
 		d.pending = append(d.pending, c)
 	}

@@ -30,7 +30,7 @@ func TestDispatchLeaseExpiryReassignsToLiveWorker(t *testing.T) {
 
 	a := d.register("a", 1)
 	spec := testCell(1)
-	ch, cancel := d.enqueue(spec)
+	ch, cancel := d.enqueue(spec, "")
 	defer cancel()
 
 	leases, err := d.lease(a.WorkerID, 4)
@@ -90,7 +90,7 @@ func TestDispatchFrozenWorkerBudget(t *testing.T) {
 	a := d.register("frozen", 1)
 	b := d.register("healthy", 1)
 	spec := testCell(2)
-	_, cancel := d.enqueue(spec)
+	_, cancel := d.enqueue(spec, "")
 	defer cancel()
 	if leases, _ := d.lease(a.WorkerID, 1); len(leases) != 1 {
 		t.Fatal("worker a did not get the lease")
@@ -144,7 +144,7 @@ func TestDispatchZeroWorkersReleasesWaiters(t *testing.T) {
 	if !d.active() {
 		t.Fatal("dispatcher inactive with a live worker")
 	}
-	ch, cancel := d.enqueue(testCell(3))
+	ch, cancel := d.enqueue(testCell(3), "")
 	defer cancel()
 
 	clk.Advance(11 * time.Second)
@@ -172,8 +172,8 @@ func TestDispatchEnqueueDedup(t *testing.T) {
 	w := d.register("w", 2)
 
 	spec := testCell(4)
-	ch1, cancel1 := d.enqueue(spec)
-	ch2, cancel2 := d.enqueue(spec)
+	ch1, cancel1 := d.enqueue(spec, "")
+	ch2, cancel2 := d.enqueue(spec, "")
 	defer cancel1()
 	defer cancel2()
 
@@ -204,8 +204,8 @@ func TestDispatchCancelDropsUnleasedCell(t *testing.T) {
 
 	pending := testCell(5)
 	leased := testCell(6)
-	_, cancelLeased := d.enqueue(leased)
-	_, cancelPending := d.enqueue(pending)
+	_, cancelLeased := d.enqueue(leased, "")
+	_, cancelPending := d.enqueue(pending, "")
 
 	if leases, _ := d.lease(w.WorkerID, 1); len(leases) != 1 || leases[0].Digest != leased.Digest() {
 		t.Fatal("expected the first-enqueued cell to be leased")

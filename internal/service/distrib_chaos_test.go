@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"log/slog"
 	"os"
 	"os/exec"
 	"syscall"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"dnc/internal/service/worker"
+	"dnc/internal/telemetry"
 )
 
 // ---- distributed chaos: SIGKILL one worker, freeze another, lose nothing ----
@@ -47,9 +49,8 @@ func TestChaosChildWorker(t *testing.T) {
 		Capacity:     1,
 		PollInterval: 20 * time.Millisecond,
 		FreezeAfter:  freeze,
-		Logf: func(format string, args ...any) {
-			t.Logf("[child %s] "+format, append([]any{os.Getenv(workerChildNameEnv)}, args...)...)
-		},
+		Log: slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})).
+			With("child", os.Getenv(workerChildNameEnv)),
 	})
 	t.Logf("[child %s] worker.Run: %v", os.Getenv(workerChildNameEnv), err)
 }
@@ -147,4 +148,49 @@ func TestDistributedChaosSweep(t *testing.T) {
 	}
 	t.Logf("distributed chaos: admitted=%d dup=%d rejected=%d reassigned=%d expired=%d",
 		st.RemoteAdmitted, st.RemoteDuplicates, st.RemoteRejected, st.Reassigned, st.WorkersExpired)
+
+	// ---- telemetry acceptance: the chaos run leaves a coherent timeline ----
+	// Every admitted cell has a complete span chain with conserved phases;
+	// reassigned cells show the revoked attempt AND its successor.
+	snap := checkTraceConservation(t, e, js.ID, len(want))
+	revokedAttempts := 0
+	for _, c := range snap.Cells {
+		if c.Outcome != "admitted" {
+			t.Fatalf("cell %s outcome %q, want admitted", c.SpanID, c.Outcome)
+		}
+		for i, a := range c.Attempts {
+			if a.Outcome == "revoked" {
+				revokedAttempts++
+				if i == len(c.Attempts)-1 {
+					t.Fatalf("cell %s: revoked attempt %d has no successor — the reassignment was not traced", c.SpanID, a.N)
+				}
+			}
+		}
+	}
+	if revokedAttempts < 1 {
+		t.Fatalf("stats report %d reassignments but no revoked attempt appears in the trace", st.Reassigned)
+	}
+	fetchPerfetto(t, e, js.ID)
+
+	// /metrics after the dust settles: lints clean, conserves cells, and
+	// agrees with the dispatch stats it mirrors.
+	m, body := fetchMetrics(t, e)
+	if errs := telemetry.Lint(body); len(errs) != 0 {
+		t.Fatalf("exposition lint after chaos: %v", errs)
+	}
+	if got := m["dnc_cells_admitted_total"] + m["dnc_cells_deduped_total"] + m["dnc_cells_dead_lettered_total"]; got != float64(len(want)) {
+		t.Fatalf("admitted+deduped+dead = %v, want %d (a cell was lost or double-counted)", got, len(want))
+	}
+	st = e.srv.Stats() // fresh snapshot: scrape-time funcs read the same sources
+	for metric, val := range map[string]uint64{
+		"dnc_cells_reassigned_total":  st.Reassigned,
+		"dnc_workers_expired_total":   st.WorkersExpired,
+		"dnc_remote_admitted_total":   st.RemoteAdmitted,
+		"dnc_remote_duplicates_total": st.RemoteDuplicates,
+		"dnc_remote_rejected_total":   st.RemoteRejected,
+	} {
+		if m[metric] != float64(val) {
+			t.Fatalf("%s = %v but /v1/healthz-side stats say %d", metric, m[metric], val)
+		}
+	}
 }

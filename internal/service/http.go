@@ -12,6 +12,7 @@ import (
 
 	"dnc/internal/service/workerproto"
 	"dnc/internal/sim/runner"
+	"dnc/internal/telemetry"
 )
 
 // maxSpecBytes bounds a submission body; specs are small JSON documents
@@ -53,8 +54,10 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/deadletters", s.handleDeadLetters)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/workers/register", s.handleWorkerRegister)
 	mux.HandleFunc("POST /v1/workers/{id}/lease", s.handleWorkerLease)
 	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
@@ -190,10 +193,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 		status = "draining"
 	}
-	writeJSON(w, code, struct {
-		Status string `json:"status"`
-		Stats
-	}{Status: status, Stats: st})
+	body := statsMap(st)
+	body["status"] = status
+	writeJSON(w, code, body)
+}
+
+// handleMetrics serves the Prometheus text exposition (404 when telemetry
+// is disabled). Mirrored counters are read from the same sources as
+// /v1/healthz at scrape time, so the two surfaces cannot disagree.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.tel == nil {
+		writeError(w, http.StatusNotFound, errors.New("telemetry disabled"))
+		return
+	}
+	s.tel.reg.Handler().ServeHTTP(w, r)
+}
+
+// handleJobTrace exports one job's telemetry timeline as Chrome
+// trace_event JSON (open in Perfetto): the job lifecycle plus every cell's
+// phase and attempt spans, reassignments visible as revoked attempts.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.rec == nil {
+		writeError(w, http.StatusNotFound, errors.New("telemetry disabled"))
+		return
+	}
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if ok, _ := s.rec.WriteJobPerfetto(w, id); !ok {
+		// Known job, no timeline yet (recovered before any event).
+		writeError(w, http.StatusNotFound, fmt.Errorf("no timeline for job %q yet", id))
+	}
 }
 
 // retryAfterRand is the jitter source seam (tests pin it).
@@ -283,6 +316,18 @@ func (s *Server) handleCellComplete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed completion: %w", err))
 		return
 	}
+	if s.tel != nil && r.ContentLength > 0 {
+		s.tel.uploadSize.Observe(uint64(r.ContentLength))
+	}
+	// The worker echoes the lease's trace identity (plus its own ID) as
+	// X-DNC-* headers; logging them here is what stitches a worker-side
+	// attempt to the server-side timeline in the text logs.
+	s.log.Debug("completion upload",
+		"digest", r.PathValue("digest"),
+		"trace", r.Header.Get(telemetry.HeaderTraceID),
+		"span", r.Header.Get(telemetry.HeaderSpanID),
+		"worker", r.Header.Get(telemetry.HeaderWorkerID),
+		"attempt", r.Header.Get(telemetry.HeaderAttempt))
 	resp, code, err := s.completeCell(r.PathValue("digest"), req)
 	if err != nil {
 		writeError(w, code, err)
@@ -310,7 +355,7 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	runtime.ReadMemStats(&ms)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sweep":   s.progress.Snapshot(),
-		"service": s.Stats(),
+		"service": statsMap(s.Stats()),
 		"memstats": map[string]uint64{
 			"alloc":        ms.Alloc,
 			"total_alloc":  ms.TotalAlloc,

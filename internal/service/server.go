@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -19,6 +21,7 @@ import (
 	"dnc/internal/service/workerproto"
 	"dnc/internal/sim"
 	"dnc/internal/sim/runner"
+	"dnc/internal/telemetry"
 )
 
 // Config tunes the job server. The zero value plus a DataDir is a working
@@ -82,6 +85,16 @@ type Config struct {
 	// RunCell, when set, replaces the cell executor outright (test seam;
 	// see runner.Options.Run). Takes precedence over WrapStream.
 	RunCell func(ctx context.Context, c runner.Cell, cfg sim.RunConfig) (sim.Result, error)
+	// Logger receives structured operational logs (accepted jobs, worker
+	// registrations, lease reassignments, admission refusals). Nil discards
+	// — library embedders and tests stay quiet by default; dncserved passes
+	// a real handler.
+	Logger *slog.Logger
+	// DisableTelemetry turns off the metrics registry and the lifecycle
+	// recorder (no /metrics, no /v1/jobs/{id}/trace). It exists for the
+	// overhead benchmark, which gates the telemetry-enabled service path
+	// against this baseline.
+	DisableTelemetry bool
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +161,9 @@ type Server struct {
 	queue    *jobQueue
 	dispatch *dispatcher
 	progress *runner.Progress
+	log      *slog.Logger
+	tel      *serverTelemetry    // nil when telemetry is disabled
+	rec      *telemetry.Recorder // nil when telemetry is disabled
 
 	ctx    context.Context // worker lifetime; cancelled by Drain
 	cancel context.CancelFunc
@@ -194,6 +210,22 @@ func New(cfg Config) (*Server, error) {
 		dead:     make(map[string]*DeadLetter),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if !cfg.DisableTelemetry {
+		// The recorder shares the dispatcher's clock seam so fake-clock chaos
+		// tests see deterministic timelines; all lifecycle timestamps are this
+		// one clock's (worker clocks never enter the conservation math).
+		s.rec = telemetry.NewRecorder(cfg.Clock)
+		s.tel = newServerTelemetry(s)
+		s.rec.OnCellDone(s.tel.observeCell)
+		s.progress.SetObserver(s.tel.observeRun)
+	}
+	s.dispatch.rec = s.rec
+	s.dispatch.log = s.log
 
 	if err := s.loadDeadLetters(filepath.Join(cfg.DataDir, "deadletters.jsonl")); err != nil {
 		cache.close()
@@ -304,6 +336,11 @@ func (s *Server) Submit(spec Spec) (JobStatus, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
+	traceID := s.rec.JobSubmitted(j.id, len(j.cells))
+	if s.tel != nil {
+		s.tel.jobsSubmitted.Inc()
+	}
+	s.log.Info("job accepted", "job", j.id, "trace", traceID, "cells", len(j.cells), "priority", norm.Priority)
 	return j.status(), nil
 }
 
@@ -435,6 +472,8 @@ func (s *Server) workerLoop() {
 func (s *Server) runJob(j *job) {
 	j.setState(JobRunning, "")
 	j.resetOutcomes()
+	s.rec.JobStarted(j.id)
+	s.log.Info("job started", "job", j.id, "trace", telemetry.TraceID(j.id), "cells", len(j.cells))
 
 	byID := make(map[string]cellSpec, len(j.cells))
 	var toRun []runner.Cell
@@ -445,6 +484,10 @@ func (s *Server) runJob(j *job) {
 				Key: c.Key(), Digest: digest, Status: OutcomeDead,
 				Error: fmt.Sprintf("dead-lettered after %d failures: %s", dl.Failures, dl.Error),
 			})
+			s.rec.CellDead(j.id, digest, c.Key())
+			if s.tel != nil {
+				s.tel.cellsDead.Inc()
+			}
 			continue
 		}
 		if e, ok := s.cache.lookup(digest); ok {
@@ -452,11 +495,16 @@ func (s *Server) runJob(j *job) {
 				Key: c.Key(), Digest: digest, Status: OutcomeCached,
 				ResultDigest: e.ResultDigest,
 			})
+			s.rec.CellCached(j.id, digest, c.Key())
+			if s.tel != nil {
+				s.tel.cellsDeduped.Inc()
+			}
 			continue
 		}
 		cell := runner.Cell{ID: c.Key(), Config: c.RunConfig()}
 		byID[cell.ID] = c
 		toRun = append(toRun, cell)
+		s.rec.CellEnqueued(j.id, digest, c.Key())
 	}
 
 	jobCtx := s.ctx
@@ -476,7 +524,7 @@ func (s *Server) runJob(j *job) {
 		CheckpointDir:   filepath.Join(j.dir, "ckpt"),
 		CheckpointEvery: s.cfg.CheckpointEvery,
 		Progress:        s.progress,
-		Run:             s.cellExecutor(byID),
+		Run:             s.cellExecutor(j.id, byID),
 		OnResult: func(cr runner.CellResult) {
 			cell, ok := byID[cr.ID]
 			if !ok {
@@ -493,10 +541,14 @@ func (s *Server) runJob(j *job) {
 					Key: cr.ID, Digest: cell.Digest(), Status: status,
 					ResultDigest: e.ResultDigest, Attempts: cr.Attempts,
 				})
+				if s.tel != nil {
+					s.tel.cellsAdmitted.Inc()
+				}
+				s.rec.CellDone(j.id, cell.Digest(), "admitted")
 			default:
 				if cr.Err != nil && (errors.Is(cr.Err, context.Canceled) || s.ctx.Err() != nil) {
 					// Drain, not cell fault: the job re-queues; no outcome,
-					// no dead letter.
+					// no dead letter — and no CellDone, the cell runs again.
 					return
 				}
 				o := Outcome{
@@ -510,24 +562,37 @@ func (s *Server) runJob(j *job) {
 					}
 				}
 				j.addOutcome(o)
+				if s.tel != nil {
+					s.tel.cellsFailed.Inc()
+				}
+				s.rec.CellDone(j.id, cell.Digest(), "failed")
+				s.log.Warn("cell failed", "job", j.id, "span", telemetry.SpanID(cell.Digest()),
+					"key", cr.ID, "attempts", cr.Attempts, "err", o.Error)
 			}
 		},
 	})
 
 	if s.ctx.Err() != nil {
 		// Drained mid-job: completed cells are cached, in-flight ones hold
-		// checkpoints; the durable acceptance record re-queues the job.
+		// checkpoints; the durable acceptance record re-queues the job. Not
+		// terminal, so the job timeline stays open for the next process.
 		j.setState(JobQueued, "")
 		return
 	}
 	if err != nil {
 		// Infrastructure failure (bad journal, job timeout): terminal.
 		j.setState(JobFailed, err.Error())
+		s.log.Error("job failed", "job", j.id, "err", err.Error())
 	} else {
 		j.setState(JobDone, "")
+		s.log.Info("job done", "job", j.id)
 	}
 	if perr := j.persistDone(); perr != nil {
 		j.setState(JobFailed, fmt.Sprintf("persisting completion: %v", perr))
+	}
+	s.rec.JobDone(j.id)
+	if s.tel != nil {
+		s.tel.jobsCompleted.Inc()
 	}
 }
 
@@ -563,19 +628,42 @@ func (s *Server) localExecutor() func(context.Context, runner.Cell, sim.RunConfi
 // dispatcher releases it with errNoWorkers and the attempt falls back to
 // local execution instead of stalling; the runner's per-attempt timeout and
 // retry machinery apply identically to both paths.
-func (s *Server) cellExecutor(byID map[string]cellSpec) func(context.Context, runner.Cell, sim.RunConfig) (sim.Result, error) {
+func (s *Server) cellExecutor(jobID string, byID map[string]cellSpec) func(context.Context, runner.Cell, sim.RunConfig) (sim.Result, error) {
 	local := s.localExecutor()
+	traceID := ""
+	if s.rec != nil {
+		traceID = telemetry.TraceID(jobID)
+	}
+	// runLocal wraps an in-process attempt in its lifecycle span: the
+	// execution end doubles as the "upload" boundary (the result arrives the
+	// moment the run returns), keeping local and remote phase structure
+	// identical.
+	runLocal := func(ctx context.Context, digest string, c runner.Cell, cfg sim.RunConfig) (sim.Result, error) {
+		s.rec.ExecStart(digest, "")
+		r, err := local(ctx, c, cfg)
+		if err != nil {
+			s.rec.ExecEnd(digest, "", "failed")
+			return r, err
+		}
+		s.rec.Upload(digest)
+		s.rec.ExecEnd(digest, "", "admitted")
+		return r, nil
+	}
 	return func(ctx context.Context, c runner.Cell, cfg sim.RunConfig) (sim.Result, error) {
 		spec, ok := byID[c.ID]
-		if !ok || !s.dispatch.active() {
+		if !ok {
 			return local(ctx, c, cfg)
 		}
-		ch, cancel := s.dispatch.enqueue(spec)
+		digest := spec.Digest()
+		if !s.dispatch.active() {
+			return runLocal(ctx, digest, c, cfg)
+		}
+		ch, cancel := s.dispatch.enqueue(spec, traceID)
 		defer cancel()
 		select {
 		case out := <-ch:
 			if errors.Is(out.err, errNoWorkers) {
-				return local(ctx, c, cfg)
+				return runLocal(ctx, digest, c, cfg)
 			}
 			return out.r, out.err
 		case <-ctx.Done():
@@ -599,12 +687,14 @@ func (s *Server) cellExecutor(byID map[string]cellSpec) func(context.Context, ru
 func (s *Server) completeCell(digest string, req workerproto.CompleteRequest) (workerproto.CompleteResponse, int, error) {
 	if req.Spec.Digest() != digest {
 		s.dispatch.countRejected()
+		s.log.Warn("upload rejected", "digest", digest, "worker", req.WorkerID, "reason", "spec digest mismatch")
 		return workerproto.CompleteResponse{}, http.StatusBadRequest,
 			fmt.Errorf("service: upload spec digest %s does not match cell %s", req.Spec.Digest(), digest)
 	}
 	if req.Result == nil {
 		if req.Error == "" {
 			s.dispatch.countRejected()
+			s.log.Warn("upload rejected", "digest", digest, "worker", req.WorkerID, "reason", "neither result nor error")
 			return workerproto.CompleteResponse{}, http.StatusBadRequest,
 				errors.New("service: upload carries neither result nor error")
 		}
@@ -618,26 +708,40 @@ func (s *Server) completeCell(digest string, req workerproto.CompleteRequest) (w
 			return workerproto.CompleteResponse{}, http.StatusNotFound,
 				fmt.Errorf("service: cell %s is not outstanding", digest)
 		}
+		s.rec.ExecEnd(digest, req.WorkerID, "failed")
+		s.log.Warn("remote cell failed", "span", telemetry.SpanID(digest), "worker", req.WorkerID,
+			"transient", req.Transient, "err", req.Error)
 		return workerproto.CompleteResponse{Status: workerproto.StatusFailureRecorded}, http.StatusOK, nil
 	}
 	if req.Result.Workload != req.Spec.Workload || req.Result.Design != req.Spec.Design {
 		s.dispatch.countRejected()
+		s.log.Warn("upload rejected", "digest", digest, "worker", req.WorkerID, "reason", "result identity mismatch")
 		return workerproto.CompleteResponse{}, http.StatusBadRequest,
 			fmt.Errorf("service: result identity (%s, %s) does not match spec (%s, %s)",
 				req.Result.Workload, req.Result.Design, req.Spec.Workload, req.Spec.Design)
 	}
+	s.rec.Upload(digest)
 	if e, ok := s.cache.get(digest); ok {
 		if e.ResultDigest != ResultDigest(req.Result) {
 			s.dispatch.countRejected()
+			if s.tel != nil {
+				s.tel.determinismViolations.Inc()
+			}
+			s.rec.ExecEnd(digest, req.WorkerID, "rejected")
+			s.log.Error("determinism violation", "span", telemetry.SpanID(digest), "worker", req.WorkerID,
+				"cached", e.ResultDigest, "uploaded", ResultDigest(req.Result))
 			return workerproto.CompleteResponse{}, http.StatusConflict,
 				fmt.Errorf("service: upload for %s is not bit-identical to the cached result (determinism violation)", digest)
 		}
 		s.dispatch.countDuplicate()
+		s.rec.Verified(digest)
+		s.rec.ExecEnd(digest, req.WorkerID, "duplicate")
 		s.dispatch.deliver(digest, remoteOutcome{r: e.Result.Result()})
 		return workerproto.CompleteResponse{Status: workerproto.StatusDuplicate}, http.StatusOK, nil
 	}
 	if !s.dispatch.outstanding(digest) {
 		s.dispatch.countRejected()
+		s.log.Warn("upload rejected", "digest", digest, "worker", req.WorkerID, "reason", "cell not outstanding")
 		return workerproto.CompleteResponse{}, http.StatusNotFound,
 			fmt.Errorf("service: cell %s is not outstanding", digest)
 	}
@@ -646,10 +750,18 @@ func (s *Server) completeCell(digest string, req workerproto.CompleteRequest) (w
 		// A racing upload won the first insert with a different result:
 		// refuse this one rather than lie about what was admitted.
 		s.dispatch.countRejected()
+		if s.tel != nil {
+			s.tel.determinismViolations.Inc()
+		}
+		s.rec.ExecEnd(digest, req.WorkerID, "rejected")
+		s.log.Error("determinism violation", "span", telemetry.SpanID(digest), "worker", req.WorkerID,
+			"cached", e.ResultDigest, "uploaded", ResultDigest(req.Result))
 		return workerproto.CompleteResponse{}, http.StatusConflict,
 			fmt.Errorf("service: upload for %s lost a race to a non-identical result (determinism violation)", digest)
 	}
 	s.dispatch.countAdmitted()
+	s.rec.Verified(digest)
+	s.rec.ExecEnd(digest, req.WorkerID, "admitted")
 	s.dispatch.deliver(digest, remoteOutcome{r: req.Result.Result()})
 	return workerproto.CompleteResponse{Status: workerproto.StatusAdmitted}, http.StatusOK, nil
 }

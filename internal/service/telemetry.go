@@ -1,0 +1,145 @@
+package service
+
+import (
+	"dnc/internal/sim/runner"
+	"dnc/internal/telemetry"
+)
+
+// serverTelemetry is dncserved's metric surface: the /metrics registry and
+// the handles the hot paths increment. Counters the service already
+// maintains (cache, lease table, progress) are mirrored with scrape-time
+// CounterFuncs — no double bookkeeping on the hot path — while event
+// counters with no existing source are real atomics. A nil *serverTelemetry
+// (Config.DisableTelemetry) no-ops everywhere: every telemetry type is
+// nil-safe, so the enabled/disabled difference is one pointer test.
+type serverTelemetry struct {
+	reg *telemetry.Registry
+
+	jobsSubmitted *telemetry.Counter
+	jobsCompleted *telemetry.Counter
+
+	cellsAdmitted         *telemetry.Counter
+	cellsDeduped          *telemetry.Counter
+	cellsFailed           *telemetry.Counter
+	cellsDead             *telemetry.Counter
+	determinismViolations *telemetry.Counter
+
+	queueWait  *telemetry.Histogram
+	cellExec   *telemetry.Histogram
+	e2e        *telemetry.Histogram
+	uploadSize *telemetry.Histogram
+}
+
+// newServerTelemetry builds the registry over a live server: scrape-time
+// closures read the same sources /v1/healthz serves, so /metrics and
+// healthz can never disagree about a mirrored counter (the chaos suite
+// asserts this agreement).
+func newServerTelemetry(s *Server) *serverTelemetry {
+	reg := telemetry.NewRegistry()
+	t := &serverTelemetry{reg: reg}
+
+	t.jobsSubmitted = reg.Counter("dnc_jobs_submitted_total",
+		"Sweep jobs accepted at POST /v1/jobs.")
+	t.jobsCompleted = reg.Counter("dnc_jobs_completed_total",
+		"Jobs reaching a terminal state (done or failed).")
+
+	t.cellsAdmitted = reg.Counter("dnc_cells_admitted_total",
+		"Cells admitted with a fresh result (simulated locally, resumed, or uploaded by a worker).")
+	t.cellsDeduped = reg.Counter("dnc_cells_deduped_total",
+		"Cells served from the content-addressed result cache without running.")
+	t.cellsFailed = reg.Counter("dnc_cells_failed_total",
+		"Cells reaching a terminal failure within a job.")
+	t.cellsDead = reg.Counter("dnc_cells_dead_lettered_total",
+		"Cells short-circuited by the open dead-letter circuit.")
+	t.determinismViolations = reg.Counter("dnc_determinism_violations_total",
+		"Uploads refused because a duplicate result was not bit-identical. Any nonzero value is a paging condition.")
+
+	// Mirrored monotone counters: one source of truth, read at scrape time.
+	reg.CounterFunc("dnc_cells_simulated_total",
+		"Cells simulated to completion by this process (in-process pool).",
+		func() uint64 { return uint64(s.progress.Snapshot().OK) })
+	reg.CounterFunc("dnc_cells_reassigned_total",
+		"Leases revoked and returned to the queue (dead or frozen workers).",
+		func() uint64 { return s.dispatch.stats().Reassigned })
+	reg.CounterFunc("dnc_cache_hits_total",
+		"Result-cache hits (cells served without running).",
+		func() uint64 { return s.cache.stats().hits })
+	reg.CounterFunc("dnc_cache_evictions_total",
+		"Result-cache entries evicted under the size bound.",
+		func() uint64 { return s.cache.stats().evictions })
+	reg.CounterFunc("dnc_workers_expired_total",
+		"Workers reaped for missing their heartbeat window.",
+		func() uint64 { return s.dispatch.stats().WorkersExpired })
+	reg.CounterFunc("dnc_remote_admitted_total",
+		"Fresh results admitted from worker uploads.",
+		func() uint64 { return s.dispatch.stats().RemoteAdmitted })
+	reg.CounterFunc("dnc_remote_duplicates_total",
+		"Bit-identical duplicate uploads acknowledged idempotently.",
+		func() uint64 { return s.dispatch.stats().RemoteDuplicates })
+	reg.CounterFunc("dnc_remote_rejected_total",
+		"Uploads refused by admission verification.",
+		func() uint64 { return s.dispatch.stats().RemoteRejected })
+
+	reg.GaugeFunc("dnc_queue_depth",
+		"Jobs accepted but not yet started.",
+		func() float64 { return float64(s.queue.len()) })
+	reg.GaugeFunc("dnc_jobs_running",
+		"Jobs currently sweeping.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.running)
+		})
+	reg.GaugeFunc("dnc_workers_live",
+		"Live (heartbeating) remote workers.",
+		func() float64 { return float64(s.dispatch.stats().WorkersLive) })
+	reg.GaugeFunc("dnc_lease_depth",
+		"Cells currently leased to remote workers.",
+		func() float64 { return float64(s.dispatch.stats().LeaseDepth) })
+	reg.GaugeFunc("dnc_remote_pending",
+		"Cells queued for the next worker lease request.",
+		func() float64 { return float64(s.dispatch.stats().RemotePending) })
+	reg.GaugeFunc("dnc_inflight_cells",
+		"Cells executing right now (local pool and remote leases).",
+		func() float64 {
+			snap := s.progress.Snapshot()
+			return float64(len(snap.Running))
+		})
+
+	t.queueWait = reg.Histogram("dnc_queue_wait_seconds",
+		"Per-cell wait from enqueue to first execution attempt.",
+		telemetry.DurationBounds(), telemetry.SecondsScale)
+	t.cellExec = reg.Histogram("dnc_cell_execution_seconds",
+		"Per-cell wall time in the runner (includes retries and remote round-trips).",
+		telemetry.DurationBounds(), telemetry.SecondsScale)
+	t.e2e = reg.Histogram("dnc_e2e_latency_seconds",
+		"Per-cell end-to-end latency from enqueue to terminal outcome. Phase durations sum exactly to this.",
+		telemetry.DurationBounds(), telemetry.SecondsScale)
+	t.uploadSize = reg.Histogram("dnc_upload_size_bytes",
+		"Worker completion upload body sizes.",
+		telemetry.SizeBounds(), 1)
+
+	return t
+}
+
+// observeCell is the recorder → histogram bridge: every finalized cell
+// feeds its conserved phase durations. Phase offsets are microseconds, the
+// histograms' raw unit, so no conversion loses precision.
+func (t *serverTelemetry) observeCell(c telemetry.CellSnapshot) {
+	if t == nil {
+		return
+	}
+	t.e2e.Observe(uint64(c.E2E()))
+	if w := c.Phase("queue-wait"); w > 0 || c.Outcome == "admitted" {
+		t.queueWait.Observe(uint64(w))
+	}
+}
+
+// observeRun is the runner-progress → histogram bridge (installed via
+// runner.Progress.SetObserver): per-cell wall time as the runner saw it.
+func (t *serverTelemetry) observeRun(cr runner.CellResult) {
+	if t == nil {
+		return
+	}
+	t.cellExec.ObserveDuration(cr.Elapsed)
+}

@@ -17,7 +17,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +30,7 @@ import (
 	"dnc/internal/service/workerproto"
 	"dnc/internal/sim"
 	"dnc/internal/sim/runner"
+	"dnc/internal/telemetry"
 )
 
 // Options configures one worker process.
@@ -59,8 +63,13 @@ type Options struct {
 	// wedged process whose heartbeat thread survives. The server's
 	// per-lease progress budget is what must catch this. 0 disables.
 	FreezeAfter int
-	// Logf receives progress lines (default: discard).
-	Logf func(format string, args ...any)
+	// Log receives structured progress and error records; every cell-level
+	// record carries the worker ID and cell identity (default: discard).
+	Log *slog.Logger
+	// Telemetry, when set, receives worker-side metrics (and instruments
+	// Client's retry seams — don't also call InstrumentClient yourself).
+	// The embedder serves Telemetry.Reg however it likes; nil disables.
+	Telemetry *Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -76,8 +85,15 @@ func (o Options) withDefaults() Options {
 	if o.Run == nil {
 		o.Run = defaultRun
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Log == nil {
+		o.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if o.Telemetry == nil {
+		// A zero Telemetry has no registry and all-nil (no-op) counters:
+		// metrics disabled without a branch at every observation site.
+		o.Telemetry = &Telemetry{}
+	} else {
+		o.Telemetry.InstrumentClient(o.Client)
 	}
 	return o
 }
@@ -116,12 +132,13 @@ func Run(ctx context.Context, o Options) error {
 		if err != nil {
 			return fmt.Errorf("worker: registering with %s: %w", o.Server, err)
 		}
-		o.Logf("registered as %s (ttl=%dms heartbeat=%dms batch<=%d)",
-			reg.WorkerID, reg.LeaseTTLMS, reg.HeartbeatMS, reg.LeaseBatchMax)
+		o.Telemetry.Registrations.Inc()
+		o.Log.Info("registered", "worker", reg.WorkerID, "ttl_ms", reg.LeaseTTLMS,
+			"heartbeat_ms", reg.HeartbeatMS, "batch_max", reg.LeaseBatchMax)
 		if err := runSession(ctx, o, reg); !errors.Is(err, errReregister) {
 			return err
 		}
-		o.Logf("%s: registration expired; registering again", reg.WorkerID)
+		o.Log.Warn("registration expired; registering again", "worker", reg.WorkerID)
 	}
 	return ctx.Err()
 }
@@ -137,6 +154,10 @@ type session struct {
 
 	mu     sync.Mutex
 	active map[string]context.CancelCauseFunc // digest → cell cancel
+	// attempts counts how many times this session has been leased each
+	// digest (a reassignment returning to the same worker); it rides on the
+	// upload's X-DNC-Attempt header.
+	attempts map[string]int
 
 	slots     chan struct{} // capacity tokens; held while a cell is in flight
 	inflight  sync.WaitGroup
@@ -150,8 +171,9 @@ func runSession(parent context.Context, o Options, reg workerproto.RegisterRespo
 	s := &session{
 		o: o, reg: reg,
 		ctx: ctx, cancel: cancel,
-		active: make(map[string]context.CancelCauseFunc),
-		slots:  make(chan struct{}, o.Capacity),
+		active:   make(map[string]context.CancelCauseFunc),
+		attempts: make(map[string]int),
+		slots:    make(chan struct{}, o.Capacity),
 	}
 	hbDone := make(chan struct{})
 	go func() {
@@ -235,7 +257,9 @@ func (s *session) abandon(digest string) {
 	cancel, ok := s.active[digest]
 	s.mu.Unlock()
 	if ok {
-		s.o.Logf("%s: lease %.12s revoked; abandoning", s.reg.WorkerID, digest)
+		s.o.Telemetry.LeasesRevoked.Inc()
+		s.o.Log.Warn("lease revoked; abandoning", "worker", s.reg.WorkerID,
+			"cell", digest, "span", telemetry.SpanID(digest))
 		cancel(errRevoked)
 	}
 }
@@ -271,7 +295,7 @@ func (s *session) leaseLoop() error {
 			continue
 		}
 		if resp.Draining {
-			s.o.Logf("%s: server draining; finishing %d held cell(s)", s.reg.WorkerID, len(s.slots))
+			s.o.Log.Info("server draining; finishing held cells", "worker", s.reg.WorkerID, "held", len(s.slots))
 			return nil
 		}
 		for _, l := range resp.Leases {
@@ -300,6 +324,7 @@ func (s *session) startCell(l workerproto.Lease) {
 	cctx, ccancel := context.WithCancelCause(s.ctx)
 	s.mu.Lock()
 	s.active[l.Digest] = ccancel
+	s.attempts[l.Digest]++
 	s.mu.Unlock()
 	s.inflight.Add(1)
 	go func() {
@@ -327,11 +352,21 @@ func (s *session) runCell(ctx context.Context, l workerproto.Lease) {
 		rctx, rcancel = context.WithTimeout(ctx, s.o.CellTimeout)
 		defer rcancel()
 	}
+	s.o.Telemetry.execStart()
+	start := time.Now()
 	res, err := s.o.Run(rctx, l.Spec)
+	s.o.Telemetry.ExecSeconds.ObserveDuration(time.Since(start))
+	s.o.Telemetry.execEnd()
 	if ctx.Err() != nil {
+		s.o.Telemetry.CellsAbandoned.Inc()
 		return // revoked or session over: abandon without an upload
 	}
 	if err != nil {
+		s.o.Telemetry.CellsFailed.Inc()
+		s.o.Telemetry.recordError(s.reg.WorkerID, l.Digest, l.Key, err.Error())
+		s.o.Log.Error("cell execution failed", "worker", s.reg.WorkerID,
+			"cell", l.Digest, "key", l.Key, "err", err.Error(),
+			"transient", errors.Is(err, context.DeadlineExceeded))
 		s.complete(l, nil, err, errors.Is(err, context.DeadlineExceeded))
 		return
 	}
@@ -339,7 +374,8 @@ func (s *session) runCell(ctx context.Context, l workerproto.Lease) {
 		// Chaos: wedge after the budgeted completions — result computed,
 		// upload never sent, lease held until the server's watchdog acts.
 		if s.frozen.CompareAndSwap(false, true) {
-			s.o.Logf("%s: FROZEN (chaos hook): holding lease %.12s, heartbeats continue", s.reg.WorkerID, l.Digest)
+			s.o.Log.Warn("FROZEN (chaos hook): holding lease, heartbeats continue",
+				"worker", s.reg.WorkerID, "cell", l.Digest)
 		}
 		<-s.ctx.Done()
 		return
@@ -358,11 +394,33 @@ func (s *session) complete(l workerproto.Lease, res *runner.ResultJSON, execErr 
 		req.Error = execErr.Error()
 		req.Transient = transient
 	}
+	s.mu.Lock()
+	attempt := s.attempts[l.Digest]
+	s.mu.Unlock()
+	// Echo the lease's trace identity plus our own: the server stitches this
+	// upload into the job timeline by these headers.
+	hdr := map[string]string{
+		telemetry.HeaderWorkerID: s.reg.WorkerID,
+		telemetry.HeaderAttempt:  strconv.Itoa(attempt),
+	}
+	if l.TraceID != "" {
+		hdr[telemetry.HeaderTraceID] = l.TraceID
+		hdr[telemetry.HeaderSpanID] = l.SpanID
+	}
 	var resp workerproto.CompleteResponse
-	status, err := s.o.Client.PostJSON(s.ctx, s.url("/v1/cells/"+l.Digest+"/complete"), req, &resp)
+	status, err := s.o.Client.PostJSONHeaders(s.ctx, s.url("/v1/cells/"+l.Digest+"/complete"), hdr, req, &resp)
 	if err != nil {
-		s.o.Logf("%s: uploading %.12s failed (status %d): %v", s.reg.WorkerID, l.Digest, status, err)
+		s.o.Telemetry.UploadRejected.Inc()
+		s.o.Telemetry.recordError(s.reg.WorkerID, l.Digest, l.Key,
+			fmt.Sprintf("upload failed (status %d): %v", status, err))
+		s.o.Log.Error("upload failed", "worker", s.reg.WorkerID, "cell", l.Digest,
+			"key", l.Key, "status", status, "err", err.Error())
 		return
 	}
-	s.o.Logf("%s: cell %.12s %s", s.reg.WorkerID, l.Digest, resp.Status)
+	if res != nil {
+		s.o.Telemetry.CellsCompleted.Inc()
+	}
+	s.o.Log.Info("cell uploaded", "worker", s.reg.WorkerID, "cell", l.Digest,
+		"span", telemetry.SpanID(l.Digest), "trace", l.TraceID,
+		"attempt", attempt, "status", resp.Status)
 }

@@ -318,7 +318,7 @@ func TestCompleteAdmissionVerification(t *testing.T) {
 
 	// Result identity fields disagreeing with the spec → 400.
 	bad := &runner.ResultJSON{Workload: "OLTP-DB-A", Design: spec.Design}
-	ch, cancel := e.srv.dispatch.enqueue(spec)
+	ch, cancel := e.srv.dispatch.enqueue(spec, "")
 	defer cancel()
 	code, _ = rc.PostJSON(ctx, e.base+"/v1/cells/"+spec.Digest()+"/complete",
 		workerproto.CompleteRequest{WorkerID: reg.WorkerID, Spec: spec, Result: bad}, nil)

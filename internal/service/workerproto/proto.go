@@ -158,6 +158,14 @@ type Lease struct {
 	Digest string   `json:"digest"`
 	Key    string   `json:"key"`
 	Spec   CellSpec `json:"spec"`
+	// TraceID and SpanID are the telemetry identity of the cell's journey:
+	// the trace is the submitting job's, the span is derived from the cell's
+	// content key. The worker echoes both (plus its own ID) as X-DNC-*
+	// headers on its completion upload so server-side logs and timelines
+	// stitch worker attempts into the job's trace. Empty when the server
+	// runs with telemetry disabled.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // LeaseResponse returns the granted batch (possibly empty — the worker

@@ -34,6 +34,11 @@ type Progress struct {
 
 	journalAppends int
 	journalPending int
+
+	// observer, when set, sees every finished cell — the bridge that feeds
+	// per-cell wall time and attempt counts into a metrics layer without
+	// Progress itself depending on one.
+	observer func(CellResult)
 }
 
 // NewProgress returns an empty tracker; the clock starts now.
@@ -61,13 +66,24 @@ func (p *Progress) begin(id string) {
 	p.mu.Unlock()
 }
 
+// SetObserver registers a callback invoked with every finished cell (after
+// the tally update, outside the lock). Set it before the sweep starts; a
+// nil Progress ignores it.
+func (p *Progress) SetObserver(fn func(CellResult)) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.observer = fn
+	p.mu.Unlock()
+}
+
 // observe folds a finished cell into the tally.
 func (p *Progress) observe(res CellResult) {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	delete(p.running, res.ID)
 	p.done++
 	switch res.Status {
@@ -80,6 +96,11 @@ func (p *Progress) observe(res CellResult) {
 	}
 	if res.Attempts > 1 {
 		p.retried += res.Attempts - 1
+	}
+	fn := p.observer
+	p.mu.Unlock()
+	if fn != nil {
+		fn(res)
 	}
 }
 

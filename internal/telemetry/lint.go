@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a Prometheus text exposition against the conventions this
+// repo documents in docs/OPERATIONS.md: every family has a non-empty HELP
+// and a TYPE before its samples, family names are unique, counters end in
+// _total, histograms end in _seconds or _bytes, histogram le buckets are
+// cumulative and end at +Inf, and _sum/_count are present. CI runs it
+// against a live dncserved scrape; tests run it against both binaries'
+// registries. Returns nil when the exposition is clean.
+func Lint(exposition []byte) []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	type family struct {
+		help, typ  string
+		samples    int
+		lastLe     float64
+		sawInf     bool
+		sawSum     bool
+		sawCount   bool
+		leOrderOK  bool
+		lastBucket uint64
+	}
+	families := map[string]*family{}
+	var order []string
+	get := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{leOrderOK: true, lastLe: -1}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	// baseName strips histogram sample suffixes back to the family name.
+	baseName := func(name string) (string, string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				return strings.TrimSuffix(name, suf), suf
+			}
+		}
+		return name, ""
+	}
+
+	for ln, line := range strings.Split(string(exposition), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			f := get(name)
+			if f.help != "" {
+				fail("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			if strings.TrimSpace(help) == "" {
+				fail("line %d: empty HELP for %s", ln+1, name)
+			}
+			f.help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, _ := strings.Cut(rest, " ")
+			f := get(name)
+			if f.typ != "" {
+				fail("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			if f.samples > 0 {
+				fail("line %d: TYPE for %s after its samples", ln+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				fail("line %d: unknown TYPE %q for %s", ln+1, typ, name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		// Sample line: name{labels} value  or  name value.
+		sampleName := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			sampleName = line[:i]
+		}
+		fam, suffix := baseName(sampleName)
+		if suffix != "" && (families[fam] == nil || families[fam].typ != "histogram") {
+			// _total counters end in _total, not a histogram suffix; only
+			// treat the suffix as histogram machinery when the family is one.
+			fam, suffix = sampleName, ""
+		}
+		f, ok := families[fam]
+		if !ok {
+			fail("line %d: sample %s has no HELP/TYPE", ln+1, sampleName)
+			f = get(fam)
+		}
+		f.samples++
+		switch suffix {
+		case "_sum":
+			f.sawSum = true
+		case "_count":
+			f.sawCount = true
+		case "_bucket":
+			le := labelValue(line, "le")
+			if le == "" {
+				fail("line %d: histogram bucket without le label", ln+1)
+				break
+			}
+			var bound float64
+			if le == "+Inf" {
+				f.sawInf = true
+				bound = maxFloat
+			} else {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					fail("line %d: bad le value %q", ln+1, le)
+					break
+				}
+				bound = v
+			}
+			if bound <= f.lastLe {
+				fail("line %d: le buckets out of order for %s", ln+1, fam)
+				f.leOrderOK = false
+			}
+			f.lastLe = bound
+			// Cumulative check: counts must be non-decreasing.
+			fields := strings.Fields(line)
+			if n, err := strconv.ParseUint(fields[len(fields)-1], 10, 64); err == nil {
+				if n < f.lastBucket {
+					fail("line %d: non-cumulative bucket counts for %s", ln+1, fam)
+				}
+				f.lastBucket = n
+			}
+		}
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		f := families[name]
+		if f.help == "" {
+			fail("family %s: missing HELP", name)
+		}
+		if f.typ == "" {
+			fail("family %s: missing TYPE", name)
+		}
+		if f.samples == 0 {
+			fail("family %s: declared but no samples", name)
+		}
+		switch f.typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				fail("family %s: counter must end in _total", name)
+			}
+		case "histogram":
+			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+				fail("family %s: histogram must end in _seconds or _bytes", name)
+			}
+			if !f.sawInf {
+				fail("family %s: histogram missing +Inf bucket", name)
+			}
+			if !f.sawSum {
+				fail("family %s: histogram missing _sum", name)
+			}
+			if !f.sawCount {
+				fail("family %s: histogram missing _count", name)
+			}
+		}
+	}
+	return errs
+}
+
+const maxFloat = 1.797693134862315708145274237317043567981e+308
+
+// labelValue extracts one label's value from a sample line, or "".
+func labelValue(line, label string) string {
+	i := strings.Index(line, label+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(label)+2:]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}

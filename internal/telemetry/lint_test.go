@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErrs(t *testing.T, exposition string) []string {
+	t.Helper()
+	var out []string
+	for _, err := range Lint([]byte(exposition)) {
+		out = append(out, err.Error())
+	}
+	return out
+}
+
+func wantLintError(t *testing.T, exposition, substr string) {
+	t.Helper()
+	errs := lintErrs(t, exposition)
+	for _, e := range errs {
+		if strings.Contains(e, substr) {
+			return
+		}
+	}
+	t.Fatalf("lint errors %v do not mention %q", errs, substr)
+}
+
+func TestLintCleanExposition(t *testing.T) {
+	clean := `# HELP dnc_cells_total Cells.
+# TYPE dnc_cells_total counter
+dnc_cells_total 3
+# HELP dnc_depth Queue depth.
+# TYPE dnc_depth gauge
+dnc_depth 1.5
+# HELP dnc_wait_seconds Wait.
+# TYPE dnc_wait_seconds histogram
+dnc_wait_seconds_bucket{le="0.1"} 1
+dnc_wait_seconds_bucket{le="1"} 2
+dnc_wait_seconds_bucket{le="+Inf"} 2
+dnc_wait_seconds_sum 0.5
+dnc_wait_seconds_count 2
+`
+	if errs := Lint([]byte(clean)); len(errs) > 0 {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name, exposition, want string
+	}{
+		{"counter suffix",
+			"# HELP dnc_cells Cells.\n# TYPE dnc_cells counter\ndnc_cells 1\n",
+			"must end in _total"},
+		{"histogram suffix",
+			"# HELP dnc_wait Wait.\n# TYPE dnc_wait histogram\ndnc_wait_bucket{le=\"+Inf\"} 1\ndnc_wait_sum 1\ndnc_wait_count 1\n",
+			"must end in _seconds or _bytes"},
+		{"missing help",
+			"# TYPE dnc_x_total counter\ndnc_x_total 1\n",
+			"missing HELP"},
+		{"empty help",
+			"# HELP dnc_x_total \n# TYPE dnc_x_total counter\ndnc_x_total 1\n",
+			"empty HELP"},
+		{"missing type",
+			"# HELP dnc_x_total X.\ndnc_x_total 1\n",
+			"missing TYPE"},
+		{"sample without metadata",
+			"stray_metric 1\n",
+			"no HELP/TYPE"},
+		{"duplicate help",
+			"# HELP dnc_x_total X.\n# HELP dnc_x_total Y.\n# TYPE dnc_x_total counter\ndnc_x_total 1\n",
+			"duplicate HELP"},
+		{"type after samples",
+			"# HELP dnc_x_total X.\ndnc_x_total 1\n# TYPE dnc_x_total counter\n",
+			"after its samples"},
+		{"unknown type",
+			"# HELP dnc_x_total X.\n# TYPE dnc_x_total summary\ndnc_x_total 1\n",
+			"unknown TYPE"},
+		{"no samples",
+			"# HELP dnc_x_total X.\n# TYPE dnc_x_total counter\n",
+			"no samples"},
+		{"missing inf",
+			"# HELP dnc_w_seconds W.\n# TYPE dnc_w_seconds histogram\ndnc_w_seconds_bucket{le=\"1\"} 1\ndnc_w_seconds_sum 1\ndnc_w_seconds_count 1\n",
+			"missing +Inf"},
+		{"missing sum",
+			"# HELP dnc_w_seconds W.\n# TYPE dnc_w_seconds histogram\ndnc_w_seconds_bucket{le=\"+Inf\"} 1\ndnc_w_seconds_count 1\n",
+			"missing _sum"},
+		{"missing count",
+			"# HELP dnc_w_seconds W.\n# TYPE dnc_w_seconds histogram\ndnc_w_seconds_bucket{le=\"+Inf\"} 1\ndnc_w_seconds_sum 1\n",
+			"missing _count"},
+		{"le out of order",
+			"# HELP dnc_w_seconds W.\n# TYPE dnc_w_seconds histogram\ndnc_w_seconds_bucket{le=\"1\"} 1\ndnc_w_seconds_bucket{le=\"0.5\"} 2\ndnc_w_seconds_bucket{le=\"+Inf\"} 2\ndnc_w_seconds_sum 1\ndnc_w_seconds_count 2\n",
+			"out of order"},
+		{"non-cumulative",
+			"# HELP dnc_w_seconds W.\n# TYPE dnc_w_seconds histogram\ndnc_w_seconds_bucket{le=\"1\"} 5\ndnc_w_seconds_bucket{le=\"+Inf\"} 2\ndnc_w_seconds_sum 1\ndnc_w_seconds_count 2\n",
+			"non-cumulative"},
+		{"bucket without le",
+			"# HELP dnc_w_seconds W.\n# TYPE dnc_w_seconds histogram\ndnc_w_seconds_bucket 1\ndnc_w_seconds_bucket{le=\"+Inf\"} 1\ndnc_w_seconds_sum 1\ndnc_w_seconds_count 1\n",
+			"without le label"},
+		{"bad le value",
+			"# HELP dnc_w_seconds W.\n# TYPE dnc_w_seconds histogram\ndnc_w_seconds_bucket{le=\"abc\"} 1\ndnc_w_seconds_bucket{le=\"+Inf\"} 1\ndnc_w_seconds_sum 1\ndnc_w_seconds_count 1\n",
+			"bad le value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantLintError(t, tc.exposition, tc.want)
+		})
+	}
+}
+
+// TestLintRegistryRoundTrip proves any registry built with the package's
+// own constructors lints clean — the invariant CI relies on when it lints
+// a live scrape.
+func TestLintRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dnc_a_total", "A.").Inc()
+	r.CounterFunc("dnc_b_total", "B.", func() uint64 { return 2 })
+	r.CounterVec("dnc_c_total", "C.", "status").With("503").Inc()
+	r.GaugeFunc("dnc_d", "D.", func() float64 { return 0.5 })
+	h := r.Histogram("dnc_e_seconds", "E.", DurationBounds(), SecondsScale)
+	h.Observe(12345)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if errs := Lint([]byte(b.String())); len(errs) > 0 {
+		t.Fatalf("registry exposition failed its own lint: %v", errs)
+	}
+}

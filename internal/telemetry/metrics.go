@@ -1,0 +1,356 @@
+// Package telemetry is the distributed service plane's observability layer:
+// Prometheus text-format metrics, deterministic trace/span identity shared
+// between dncserved and dncworker, and per-cell lifecycle span recording
+// with a conservation check (phase durations must sum to end-to-end
+// latency — the same discipline internal/core applies to stall cycles).
+//
+// The package is deliberately dependency-free beyond internal/obs, whose
+// fixed-bucket histograms back every timing metric: one bucket layout serves
+// both the simulator's cycle-domain observability and the service's
+// wall-clock domain. Every type is nil-safe — a disabled telemetry plane is
+// a nil pointer, and the hot path pays one pointer test (the same contract
+// obs.Histogram established).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnc/internal/obs"
+)
+
+// Counter is a monotonically increasing event counter. Safe for concurrent
+// use; all methods are nil-safe no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// CounterVec is a counter family with one label dimension (e.g. HTTP retry
+// counts by status code). Children are created on first use and live for
+// the registry's lifetime; the label cardinality is expected to be tiny
+// (status codes, outcome names).
+type CounterVec struct {
+	mu       sync.Mutex
+	label    string
+	children map[string]*Counter
+}
+
+// With returns the child counter for one label value, creating it if new.
+func (cv *CounterVec) With(value string) *Counter {
+	if cv == nil {
+		return nil
+	}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	c, ok := cv.children[value]
+	if !ok {
+		c = &Counter{}
+		cv.children[value] = c
+	}
+	return c
+}
+
+// snapshot returns label values in sorted order with their counts.
+func (cv *CounterVec) snapshot() ([]string, []uint64) {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	vals := make([]string, 0, len(cv.children))
+	for v := range cv.children {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	counts := make([]uint64, len(vals))
+	for i, v := range vals {
+		counts[i] = cv.children[v].Value()
+	}
+	return vals, counts
+}
+
+// Histogram is a wall-clock histogram backed by an obs.Histogram bucket
+// layout. Observations are recorded in a base unit (microseconds for
+// *_seconds metrics, bytes for *_bytes metrics); the exposition divides by
+// scale so bucket bounds surface in the metric's declared unit. Unlike the
+// simulator-side obs.Histogram (single-threaded by design), this one takes
+// a mutex: the service path is concurrent.
+type Histogram struct {
+	mu    sync.Mutex
+	h     *obs.Histogram
+	scale float64 // exposition divisor: raw unit → declared unit
+}
+
+// Observe records one raw-unit value. Nil-safe.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Observe(v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration on a microsecond-backed histogram.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d / time.Microsecond))
+}
+
+// Snapshot returns the backing obs snapshot (raw units).
+func (h *Histogram) Snapshot() obs.HistSnapshot {
+	if h == nil {
+		return obs.HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Snapshot()
+}
+
+// metricKind drives the exposition TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindCounterFunc
+	kindCounterVec
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered family.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	cfn     func() uint64 // kindCounterFunc: monotone source read at scrape
+	vec     *CounterVec
+	gfn     func() float64 // kindGauge: level read at scrape
+	hist    *Histogram
+}
+
+// Registry is an ordered set of metric families served in registration
+// order (stable exposition output, like obs.Registry). All registration
+// happens at construction time, before concurrent use; scraping is safe
+// concurrently with observation. A nil *Registry disables everything.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func (r *Registry) add(m *metric) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[m.name] {
+		panic("telemetry: duplicate metric " + m.name)
+	}
+	r.byName[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns an event counter. The name must end in
+// _total (the lint enforces the convention the docs promise). Nil-safe:
+// a nil registry returns a nil counter whose methods no-op.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.add(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. It exists to mirror counters the service already maintains (cache
+// inserts, lease reassignments) without double bookkeeping on the hot path;
+// fn must be monotone non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.add(&metric{name: name, help: help, kind: kindCounterFunc, cfn: fn})
+}
+
+// CounterVec registers a one-label counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	cv := &CounterVec{label: label, children: make(map[string]*Counter)}
+	r.add(&metric{name: name, help: help, kind: kindCounterVec, vec: cv})
+	return cv
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time (queue depth,
+// live workers, inflight cells — levels, not events).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.add(&metric{name: name, help: help, kind: kindGauge, gfn: fn})
+}
+
+// Histogram registers a histogram over the given obs-style bucket bounds in
+// raw units, exposed with bounds divided by scale (pass SecondsScale with
+// microsecond bounds for a *_seconds metric, 1 for *_bytes).
+func (r *Registry) Histogram(name, help string, bounds []uint64, scale float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	h := &Histogram{h: obs.NewHistogram(name, bounds), scale: scale}
+	r.add(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// SecondsScale converts microsecond-backed buckets to seconds at exposition.
+const SecondsScale = 1e6
+
+// DurationBounds is the default bucket layout for service latencies:
+// 32 geometric buckets from 100µs to ~5 minutes, in microseconds.
+func DurationBounds() []uint64 { return obs.ExpBounds(100, 1.6, 32) }
+
+// SizeBounds is the default bucket layout for payload sizes: 24 geometric
+// buckets from 256 bytes to ~1 GiB.
+func SizeBounds() []uint64 { return obs.ExpBounds(256, 2, 24) }
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// fmtFloat renders a sample value without exponent noise for integral
+// values (keeps the exposition diff-friendly and lintable).
+func fmtFloat(v float64) string {
+	if v == float64(uint64(v)) && v >= 0 {
+		return fmt.Sprintf("%d", uint64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4): HELP and TYPE lines before every family, histogram
+// cumulative le buckets ending at +Inf with _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, m := range metrics {
+		typ := "counter"
+		switch m.kind {
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, typ)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.cfn())
+		case kindCounterVec:
+			vals, counts := m.vec.snapshot()
+			if len(vals) == 0 {
+				// An empty family still exposes a zero sample so dashboards
+				// and the lint see the declared name.
+				fmt.Fprintf(&b, "%s{%s=\"\"} 0\n", m.name, m.vec.label)
+			}
+			for i, v := range vals {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", m.name, m.vec.label, escapeLabel(v), counts[i])
+			}
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %s\n", m.name, fmtFloat(m.gfn()))
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			var cum uint64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, fmtFloat(float64(bound)/m.hist.scale), cum)
+			}
+			cum += s.Counts[len(s.Bounds)]
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, fmtFloat(float64(s.Sum)/m.hist.scale))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, s.N)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Names lists the registered family names in registration order — the
+// declared inventory the docs golden test checks against.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.metrics))
+	for i, m := range r.metrics {
+		out[i] = m.name
+	}
+	return out
+}
+
+// Handler serves the registry at GET /metrics semantics: text exposition
+// with the conventional content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

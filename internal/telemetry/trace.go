@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Trace identity is deterministic on both axes: the trace ID is derived
+// from the job ID (issued once at POST /v1/jobs) and each cell's span ID
+// from its content key. A worker that leases the same cell twice — or two
+// workers racing one reassigned cell — produce attempts under the same
+// span ID, so the server can stitch every attempt into one timeline with
+// no coordination beyond the headers below.
+
+// Wire headers carrying trace context on worker-plane requests.
+const (
+	HeaderTraceID  = "X-DNC-Trace-Id"
+	HeaderSpanID   = "X-DNC-Span-Id"
+	HeaderWorkerID = "X-DNC-Worker-Id"
+	HeaderAttempt  = "X-DNC-Attempt"
+)
+
+// TraceID derives the 16-hex-digit trace ID for a job.
+func TraceID(jobID string) string {
+	sum := sha256.Sum256([]byte("dnc-trace|" + jobID))
+	return hex.EncodeToString(sum[:8])
+}
+
+// SpanID derives the 16-hex-digit span ID for a cell from its content
+// digest (the SHA-256 hex of its canonical key). The prefix is already
+// uniformly distributed, so the span ID is simply its first 16 digits —
+// an operator can eyeball a span in a trace and grep the matching cell in
+// cache/dead-letter ledgers by digest prefix.
+func SpanID(cellDigest string) string {
+	if len(cellDigest) >= 16 {
+		return cellDigest[:16]
+	}
+	sum := sha256.Sum256([]byte("dnc-span|" + cellDigest))
+	return hex.EncodeToString(sum[:8])
+}
