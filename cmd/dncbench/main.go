@@ -4,6 +4,7 @@
 //
 //	dncbench [-scale quick|paper] [-workloads a,b,c] [-only fig16,fig17] [-ablations]
 //	         [-jobs N] [-timeout 10m] [-journal sweep.jsonl] [-checkpoint-dir ckpts]
+//	         [-store-out results.dncr]
 //
 // Each experiment prints the paper's expected result alongside the
 // measured rows, mirroring EXPERIMENTS.md. Simulations fan out across a
@@ -44,6 +45,7 @@ func main() {
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "snapshot cadence in simulated cycles under -checkpoint-dir (0 = default)")
 	progress := flag.Bool("progress", true, "print a periodic one-line sweep summary (cells done/failed/retried, rate, ETA) to stderr")
 	httpAddr := flag.String("http", "", "serve live sweep progress, expvar-style counters, and pprof on this address (e.g. localhost:6060)")
+	storeOut := flag.String("store-out", "", "append every completed cell (with sampled metric time-series) to this columnar result store; inspect with dncstore")
 	flag.Parse()
 
 	if *list {
@@ -74,6 +76,7 @@ func main() {
 	if *progress {
 		cfg.ProgressOut = os.Stderr
 	}
+	cfg.StorePath = *storeOut
 	if *httpAddr != "" {
 		if cfg.Progress == nil {
 			cfg.Progress = runner.NewProgress()
@@ -125,6 +128,18 @@ func main() {
 		for _, e := range h.Ablations() {
 			printExperiment(e, 0)
 		}
+	}
+	if *storeOut != "" {
+		n, err := h.CloseStore()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dncbench: sealing result store: %v\n", err)
+			os.Exit(1)
+		}
+		var bytes int64
+		if fi, err := os.Stat(*storeOut); err == nil {
+			bytes = fi.Size()
+		}
+		fmt.Printf("store: %d cells, %d bytes (%s)\n", n, bytes, *storeOut)
 	}
 	if err := h.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "dncbench: %d simulation failure(s):\n%v\n",

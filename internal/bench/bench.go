@@ -19,7 +19,9 @@ import (
 	"dnc/internal/core"
 	"dnc/internal/isa"
 	"dnc/internal/llc"
+	"dnc/internal/obs"
 	"dnc/internal/prefetch"
+	"dnc/internal/resultstore"
 	"dnc/internal/sim"
 	"dnc/internal/sim/runner"
 	"dnc/internal/workloads"
@@ -58,6 +60,12 @@ type Config struct {
 	// Progress, when set, tracks every sweep the harness runs (live source
 	// for runner.StartDebug). New allocates one when ProgressOut is set.
 	Progress *runner.Progress
+	// StorePath, when non-empty, appends every completed cell to this
+	// columnar result store (internal/resultstore) as it finishes, and
+	// turns on per-run series sampling so IPC-over-time and the occupancy
+	// gauges ride along. This is dncbench's -store-out flag; seal the file
+	// with Harness.CloseStore when the experiments are done.
+	StorePath string
 }
 
 // Quick returns a reduced configuration for fast iteration and the default
@@ -85,13 +93,18 @@ type Harness struct {
 	errs  []error
 	// lastPrint throttles the ProgressOut summary line (guarded by mu).
 	lastPrint time.Time
+	// store receives every completed cell when Config.StorePath is set;
+	// storeTags maps runner cell IDs to their identity tags (guarded by mu,
+	// as are store appends — the Writer is not concurrency-safe).
+	store     *resultstore.Writer
+	storeTags map[string]resultstore.Cell
 }
 
 // New returns a harness for the configuration.
 func New(cfg Config) *Harness {
 	if cfg.Cores == 0 {
 		c := Quick()
-		c.ProgressOut, c.Progress = cfg.ProgressOut, cfg.Progress
+		c.ProgressOut, c.Progress, c.StorePath = cfg.ProgressOut, cfg.Progress, cfg.StorePath
 		cfg = c
 	}
 	if len(cfg.Workloads) == 0 {
@@ -100,20 +113,35 @@ func New(cfg Config) *Harness {
 	if cfg.ProgressOut != nil && cfg.Progress == nil {
 		cfg.Progress = runner.NewProgress()
 	}
-	return &Harness{cfg: cfg, ctx: context.Background(), cache: make(map[string]sim.Result)}
+	h := &Harness{cfg: cfg, ctx: context.Background(), cache: make(map[string]sim.Result)}
+	if cfg.StorePath != "" {
+		w, err := resultstore.OpenWriter(cfg.StorePath)
+		if err != nil {
+			h.fail(fmt.Errorf("bench: opening result store: %w", err))
+		} else {
+			h.store = w
+			h.storeTags = make(map[string]resultstore.Cell)
+		}
+	}
+	return h
 }
 
 // progressInterval is how often the ProgressOut summary line refreshes.
 const progressInterval = 2 * time.Second
 
-// onResult returns the sweep observer feeding ProgressOut, or nil when
-// progress reporting is off. Sweep serializes OnResult calls, but several
-// harness sweeps may run concurrently, so the throttle takes the mutex.
+// onResult returns the sweep observer feeding ProgressOut and the column
+// store, or nil when both are off. Sweep serializes OnResult calls, but
+// several harness sweeps may run concurrently, so both sinks take the
+// mutex.
 func (h *Harness) onResult() func(runner.CellResult) {
-	if h.cfg.ProgressOut == nil {
+	if h.cfg.ProgressOut == nil && h.store == nil {
 		return nil
 	}
-	return func(runner.CellResult) {
+	return func(cr runner.CellResult) {
+		h.storeResult(cr)
+		if h.cfg.ProgressOut == nil {
+			return
+		}
 		h.mu.Lock()
 		due := time.Since(h.lastPrint) >= progressInterval
 		if due {
@@ -124,6 +152,43 @@ func (h *Harness) onResult() func(runner.CellResult) {
 			fmt.Fprintf(h.cfg.ProgressOut, "bench: %s\n", h.cfg.Progress.Snapshot())
 		}
 	}
+}
+
+// storeResult appends one finished cell (scalars, histograms, sampled
+// series) to the column store. Journal-resumed cells pass through too —
+// their restored ResultJSON carries everything the store needs — and the
+// writer's first-insert-wins key dedup drops re-observations.
+func (h *Harness) storeResult(cr runner.CellResult) {
+	if h.store == nil || (cr.Status != runner.StatusOK && cr.Status != runner.StatusResumed) {
+		return
+	}
+	h.mu.Lock()
+	c, ok := h.storeTags[cr.ID]
+	h.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.SetResult(runner.NewResultJSON(cr.Result))
+	h.mu.Lock()
+	_, err := h.store.Append(c)
+	h.mu.Unlock()
+	if err != nil {
+		h.fail(fmt.Errorf("bench: store append %s: %w", cr.ID, err))
+	}
+}
+
+// CloseStore seals and closes the column store, returning how many cells
+// it holds. A no-op (0, nil) when Config.StorePath was empty.
+func (h *Harness) CloseStore() (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.store == nil {
+		return 0, nil
+	}
+	n := h.store.Len()
+	err := h.store.Close()
+	h.store = nil
+	return n, err
 }
 
 // SetContext installs a context that cancels the harness's in-flight
@@ -177,7 +242,7 @@ func (h *Harness) run(workload, key string, nd func() prefetch.Design, o runOpts
 	}
 	h.mu.Unlock()
 
-	rep, err := runner.Sweep(h.ctx, h.cells(ck, workload, nd, o), runner.Options{
+	rep, err := runner.Sweep(h.ctx, h.cells(ck, workload, key, nd, o), runner.Options{
 		Jobs:            h.cfg.Jobs,
 		Timeout:         h.cfg.Timeout,
 		CheckpointDir:   h.cfg.CheckpointDir,
@@ -201,8 +266,9 @@ func (h *Harness) run(workload, key string, nd func() prefetch.Design, o runOpts
 
 // cells expands one configuration into its sample cells: sample s runs with
 // seed Seed + s*7919, and the cell IDs are stable across processes so a
-// journaled sweep can resume.
-func (h *Harness) cells(ck, workload string, nd func() prefetch.Design, o runOpts) []runner.Cell {
+// journaled sweep can resume. With a store open, each cell's identity tags
+// are recorded so storeResult can label it when it finishes.
+func (h *Harness) cells(ck, workload, key string, nd func() prefetch.Design, o runOpts) []runner.Cell {
 	samples := h.cfg.Samples
 	if samples < 1 {
 		samples = 1
@@ -218,8 +284,49 @@ func (h *Harness) cells(ck, workload string, nd func() prefetch.Design, o runOpt
 				h.cfg.Cores, h.cfg.WarmCycles, h.cfg.MeasureCycles, h.cfg.Seed, s),
 			Config: rc,
 		}
+		if h.store != nil {
+			h.mu.Lock()
+			h.storeTags[cells[s].ID] = resultstore.Cell{
+				Workload: workload,
+				Design:   storeDesign(key, o),
+				Mode:     modeName(o.mode),
+				Cores:    h.cfg.Cores,
+				Warm:     h.cfg.WarmCycles,
+				Measure:  h.cfg.MeasureCycles,
+				Seed:     rc.Seed,
+			}
+			h.mu.Unlock()
+		}
 	}
 	return cells
+}
+
+// storeDesign is the design tag a cell carries in the column store: the
+// short design key alone for a plain run, or the key plus the option tweaks
+// for variants (perfect L1i, LLC overrides, ...). The llc config is
+// dereferenced so the tag is a stable value, not a pointer address.
+func storeDesign(key string, o runOpts) string {
+	if o == (runOpts{mode: o.mode}) { // mode rides in its own tag
+		return key
+	}
+	v := struct {
+		pfbEntries int
+		perfectL1i bool
+		perfectBTB bool
+		llcCfg     llc.Config
+	}{o.pfbEntries, o.perfectL1i, o.perfectBTB, llc.Config{}}
+	if o.llcCfg != nil {
+		v.llcCfg = *o.llcCfg
+	}
+	return fmt.Sprintf("%s#%+v", key, v)
+}
+
+// modeName renders the isa dispatch mode as the store's tag vocabulary.
+func modeName(m isa.Mode) string {
+	if m == isa.Variable {
+		return "variable"
+	}
+	return "fixed"
 }
 
 func (h *Harness) runConfig(workload string, nd func() prefetch.Design, o runOpts) sim.RunConfig {
@@ -238,6 +345,9 @@ func (h *Harness) runConfig(workload string, nd func() prefetch.Design, o runOpt
 	}
 	if o.llcCfg != nil {
 		rc.LLC = *o.llcCfg
+	}
+	if h.store != nil {
+		rc.Obs = &obs.Config{Series: true}
 	}
 	return rc
 }
@@ -280,7 +390,7 @@ func (h *Harness) Prewarm(ctx context.Context, journalPath string) error {
 	for _, w := range h.cfg.Workloads {
 		for _, sp := range specs {
 			ck := fmt.Sprintf("%s|%s|%+v", w, sp.key, runOpts{})
-			for _, c := range h.cells(ck, w, sp.nd, runOpts{}) {
+			for _, c := range h.cells(ck, w, sp.key, sp.nd, runOpts{}) {
 				cells = append(cells, c)
 				groups = append(groups, ck)
 			}

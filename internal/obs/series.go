@@ -1,0 +1,72 @@
+package obs
+
+// Series is an appending time-series of sampled gauge values: one
+// (cycle, value) point per observation, in observation order. It is the
+// raw-material feed for the columnar result store (internal/resultstore),
+// which compresses the cycles with delta-of-delta coding and the values
+// with Gorilla XOR coding — so a Series should be sampled on a regular
+// cadence (the deltas then collapse to near-zero) and hold values that
+// drift rather than jump (occupancies, rates).
+//
+// Like every collector in this package it is nil-safe: a nil *Series is
+// the disabled series and Observe on it is one pointer test.
+type Series struct {
+	name   string
+	cycles []uint64
+	values []float64
+}
+
+// NewSeries returns an empty series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the registration name.
+func (s *Series) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Observe appends one sampled point. Safe on a nil series.
+func (s *Series) Observe(cycle uint64, v float64) {
+	if s == nil {
+		return
+	}
+	s.cycles = append(s.cycles, cycle)
+	s.values = append(s.values, v)
+}
+
+// Len returns the number of recorded points.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.cycles)
+}
+
+// Reset discards recorded points (warm-up/measurement window boundary).
+func (s *Series) Reset() {
+	if s == nil {
+		return
+	}
+	s.cycles = s.cycles[:0]
+	s.values = s.values[:0]
+}
+
+// Snapshot captures the series for folding into a run result.
+func (s *Series) Snapshot() SeriesSnapshot {
+	return SeriesSnapshot{
+		Name:   s.name,
+		Cycles: append([]uint64(nil), s.cycles...),
+		Values: append([]float64(nil), s.values...),
+	}
+}
+
+// SeriesSnapshot is an immutable, JSON-friendly copy of a sampled
+// time-series. Cycles and Values are parallel; both may be empty for a run
+// that never reached a sample point.
+type SeriesSnapshot struct {
+	Name   string    `json:"name"`
+	Cycles []uint64  `json:"cycles,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestSeriesObserveSnapshot(t *testing.T) {
+	s := NewSeries("series.test")
+	if s.Name() != "series.test" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	for i := 0; i < 5; i++ {
+		s.Observe(uint64(i*256), float64(i)*0.5)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	snap := s.Snapshot()
+	want := SeriesSnapshot{
+		Name:   "series.test",
+		Cycles: []uint64{0, 256, 512, 768, 1024},
+		Values: []float64{0, 0.5, 1, 1.5, 2},
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("Snapshot = %+v, want %+v", snap, want)
+	}
+	// Snapshot is a copy: mutating the series must not alias into it.
+	s.Observe(2048, 9)
+	if len(snap.Cycles) != 5 || snap.Values[0] != 0 {
+		t.Fatal("snapshot aliases live series storage")
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	if got := s.Snapshot(); len(got.Cycles) != 0 || len(got.Values) != 0 {
+		t.Fatalf("Snapshot after Reset = %+v", got)
+	}
+}
+
+func TestSeriesNilSafe(t *testing.T) {
+	var s *Series
+	s.Observe(1, 2) // must not panic
+	s.Reset()
+	if s.Len() != 0 || s.Name() != "" {
+		t.Fatal("nil series not inert")
+	}
+}
+
+func TestRegistrySeriesOrderAndReset(t *testing.T) {
+	r := NewRegistry()
+	if got := r.SeriesSnapshots(); got != nil {
+		t.Fatalf("SeriesSnapshots on empty registry = %v, want nil", got)
+	}
+	b := r.Series("b")
+	a := r.Series("a")
+	if r.Series("b") != b {
+		t.Fatal("re-registration returned a new series")
+	}
+	b.Observe(10, 1)
+	a.Observe(10, 2)
+	snaps := r.SeriesSnapshots()
+	if len(snaps) != 2 || snaps[0].Name != "b" || snaps[1].Name != "a" {
+		t.Fatalf("snapshots not in registration order: %+v", snaps)
+	}
+	r.Reset()
+	for _, s := range r.SeriesSnapshots() {
+		if len(s.Cycles) != 0 {
+			t.Fatalf("series %s survived Reset", s.Name)
+		}
+	}
+}
+
+// TestRunObsSeriesJSONRoundTrip: series ride the journal wire form, so the
+// JSON round trip must be lossless (bit-exact float64s included).
+func TestRunObsSeriesJSONRoundTrip(t *testing.T) {
+	in := RunObs{Series: []SeriesSnapshot{{
+		Name:   "series.ipc",
+		Cycles: []uint64{256, 512, 768},
+		Values: []float64{0.25, 1.0 / 3.0, 0.999999999999},
+	}}}
+	raw, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out RunObs
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.Series, out.Series) {
+		t.Fatalf("series round trip: got %+v, want %+v", out.Series, in.Series)
+	}
+	// Runs without series capture keep the pre-series wire form.
+	raw, err = json.Marshal(&RunObs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "{}" {
+		t.Fatalf("empty RunObs JSON = %s, want {}", raw)
+	}
+}

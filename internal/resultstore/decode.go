@@ -1,0 +1,374 @@
+package resultstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// byteReader is the sticky-error varint reader behind segment decoding
+// (the checkpoint.Decoder idiom, varint-flavoured). Every read is
+// bounds-checked; after the first failure every read returns zero and err
+// holds the typed cause.
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *byteReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, w := binary.Uvarint(r.buf[r.off:])
+	if w <= 0 {
+		r.fail(fmt.Errorf("%w: varint at offset %d", errVarint(w), r.off))
+		return 0
+	}
+	r.off += w
+	return v
+}
+
+func (r *byteReader) zvarint() int64 { return unzigzag(r.uvarint()) }
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.remaining() {
+		r.fail(fmt.Errorf("%w: need %d bytes, %d remain", ErrTruncated, n, r.remaining()))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// count reads an element count and validates it against the remaining
+// input, assuming each element occupies at least elemMin bytes — the
+// allocation guard that keeps a corrupt count from forcing a huge make.
+func (r *byteReader) count(elemMin int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if v > uint64(r.remaining()/elemMin) {
+		r.fail(fmt.Errorf("%w: element count %d exceeds remaining input", ErrCorrupt, v))
+		return 0
+	}
+	return int(v)
+}
+
+// section reads a uvarint length prefix and returns the enclosed bytes.
+func (r *byteReader) section(what string) []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.remaining()) {
+		r.fail(fmt.Errorf("%w: %s section of %d bytes, %d remain", ErrTruncated, what, n, r.remaining()))
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// CellOptions selects what Cells decodes and which cells it returns.
+// Filters are disjunctive within a field and conjunctive across fields
+// (workload ∈ Workloads AND design ∈ Designs AND seed ∈ Seeds); a nil
+// slice means "any". Filtering happens before value decoding: a segment
+// whose dictionary holds none of the requested tags is skipped whole, and
+// the histogram/series sections are skipped as byte ranges unless asked
+// for.
+type CellOptions struct {
+	Workloads []string
+	Designs   []string
+	Seeds     []int64
+	// WithHists and WithSeries opt in to decoding the heavy sections.
+	WithHists  bool
+	WithSeries bool
+}
+
+func (o *CellOptions) wantWorkload(w string) bool { return matchStr(o.Workloads, w) }
+func (o *CellOptions) wantDesign(d string) bool   { return matchStr(o.Designs, d) }
+
+func (o *CellOptions) wantSeed(s int64) bool {
+	if len(o.Seeds) == 0 {
+		return true
+	}
+	for _, v := range o.Seeds {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func matchStr(set []string, v string) bool {
+	if len(set) == 0 {
+		return true
+	}
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// decodeSegment decodes one segment payload into cells, honouring the
+// options' filters and section selection.
+func decodeSegment(payload []byte, opt CellOptions) ([]Cell, error) {
+	r := &byteReader{buf: payload}
+
+	nd := r.count(1)
+	dict := make([]string, 0, nd)
+	for i := 0; i < nd; i++ {
+		n := r.uvarint()
+		if r.err == nil && n > uint64(r.remaining()) {
+			r.fail(fmt.Errorf("%w: dictionary string of %d bytes, %d remain", ErrTruncated, n, r.remaining()))
+		}
+		dict = append(dict, string(r.take(int(n))))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	str := func(idx uint64, what string) string {
+		if r.err != nil {
+			return ""
+		}
+		if idx >= uint64(len(dict)) {
+			r.fail(fmt.Errorf("%w: %s dictionary index %d of %d", ErrCorrupt, what, idx, len(dict)))
+			return ""
+		}
+		return dict[idx]
+	}
+
+	// Push-down on the dictionary: if no requested workload or design is in
+	// it, no cell in this segment can match.
+	if len(opt.Workloads) > 0 || len(opt.Designs) > 0 {
+		anyW, anyD := len(opt.Workloads) == 0, len(opt.Designs) == 0
+		for _, s := range dict {
+			anyW = anyW || matchStr(opt.Workloads, s)
+			anyD = anyD || matchStr(opt.Designs, s)
+		}
+		if !anyW || !anyD {
+			return nil, nil
+		}
+	}
+
+	// Identity columns: id columns cost ≥7 bytes per cell.
+	nc := r.count(7)
+	cells := make([]Cell, nc)
+	for i := range cells {
+		cells[i].Workload = str(r.uvarint(), "workload")
+	}
+	for i := range cells {
+		cells[i].Design = str(r.uvarint(), "design")
+	}
+	for i := range cells {
+		cells[i].Mode = str(r.uvarint(), "mode")
+	}
+	for i := range cells {
+		cells[i].Cores = int(r.uvarint())
+	}
+	for i := range cells {
+		cells[i].Warm = r.uvarint()
+	}
+	for i := range cells {
+		cells[i].Measure = r.uvarint()
+	}
+	for i := range cells {
+		cells[i].Seed = r.zvarint()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	keep := make([]bool, nc)
+	for i := range cells {
+		keep[i] = opt.wantWorkload(cells[i].Workload) &&
+			opt.wantDesign(cells[i].Design) && opt.wantSeed(cells[i].Seed)
+	}
+
+	// Metric columns. Decoding must walk every column to stay aligned, but
+	// only kept cells get map entries.
+	mr := &byteReader{buf: r.section("metrics")}
+	if r.err != nil {
+		return nil, r.err
+	}
+	bitmapLen := (nc + 7) / 8
+	nm := mr.count(1 + bitmapLen)
+	for i := range cells {
+		if keep[i] {
+			cells[i].Metrics = make(map[string]uint64, nm)
+		}
+	}
+	for m := 0; m < nm; m++ {
+		name := str(mr.uvarint(), "metric")
+		if r.err != nil {
+			return nil, r.err
+		}
+		bitmap := mr.take(bitmapLen)
+		var prev uint64
+		for i := 0; i < nc && mr.err == nil; i++ {
+			if bitmap == nil || bitmap[i/8]&(1<<(i%8)) == 0 {
+				continue
+			}
+			prev += uint64(mr.zvarint())
+			if keep[i] {
+				cells[i].Metrics[name] = prev
+			}
+		}
+	}
+	if mr.err != nil {
+		return nil, mr.err
+	}
+
+	// Histogram section: decoded only when requested, otherwise skipped as
+	// one byte range.
+	hsec := r.section("hists")
+	if r.err == nil && opt.WithHists {
+		hr := &byteReader{buf: hsec}
+		for i := 0; i < nc && hr.err == nil; i++ {
+			nh := hr.count(1)
+			for j := 0; j < nh && hr.err == nil; j++ {
+				var h Hist
+				h.Name = str(hr.uvarint(), "hist")
+				if r.err != nil {
+					return nil, r.err
+				}
+				nb := hr.count(1)
+				h.Bounds = make([]uint64, nb)
+				prev := int64(0)
+				for k := range h.Bounds {
+					prev += hr.zvarint()
+					h.Bounds[k] = uint64(prev)
+				}
+				nct := hr.count(1)
+				h.Counts = make([]uint64, nct)
+				for k := range h.Counts {
+					h.Counts[k] = hr.uvarint()
+				}
+				h.N, h.Sum = hr.uvarint(), hr.uvarint()
+				h.Min, h.Max = hr.uvarint(), hr.uvarint()
+				if keep[i] && hr.err == nil {
+					cells[i].Hists = append(cells[i].Hists, h)
+				}
+			}
+		}
+		if hr.err != nil {
+			return nil, hr.err
+		}
+	}
+
+	// Series section.
+	ssec := r.section("series")
+	if r.err == nil && opt.WithSeries {
+		sr := &byteReader{buf: ssec}
+		for i := 0; i < nc && sr.err == nil; i++ {
+			ns := sr.count(1)
+			for j := 0; j < ns && sr.err == nil; j++ {
+				name := str(sr.uvarint(), "series")
+				if r.err != nil {
+					return nil, r.err
+				}
+				blob := sr.section("series blob")
+				if sr.err != nil {
+					break
+				}
+				cyc, val, err := decodeSeriesBlob(blob)
+				if err != nil {
+					return nil, err
+				}
+				if keep[i] {
+					cells[i].Series = append(cells[i].Series, Series{Name: name, Cycles: cyc, Values: val})
+				}
+			}
+		}
+		if sr.err != nil {
+			return nil, sr.err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	out := cells[:0]
+	for i := range cells {
+		if keep[i] {
+			out = append(out, cells[i])
+		}
+	}
+	return out, nil
+}
+
+// checkHeader validates the file header, returning the offset of the first
+// block.
+func checkHeader(data []byte) (int, error) {
+	if len(data) < headerSize {
+		return 0, fmt.Errorf("%w: %d bytes is smaller than the file header", ErrTruncated, len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data); m != Magic {
+		return 0, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, m)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != Version {
+		return 0, fmt.Errorf("%w: store version %d, this build reads version %d", ErrVersion, v, Version)
+	}
+	return headerSize, nil
+}
+
+// nextBlock validates the block at data[off:] and returns its kind,
+// payload, and the offset of the following block.
+func nextBlock(data []byte, off int) (kind uint8, payload []byte, next int, err error) {
+	if len(data)-off < blockOverhead {
+		return 0, nil, 0, fmt.Errorf("%w: %d trailing bytes is smaller than a block frame", ErrTruncated, len(data)-off)
+	}
+	n := int(binary.LittleEndian.Uint32(data[off+1:]))
+	if n > len(data)-off-blockOverhead {
+		return 0, nil, 0, fmt.Errorf("%w: block of %d payload bytes, %d remain", ErrTruncated, n, len(data)-off-blockOverhead)
+	}
+	body := data[off : off+5+n]
+	stored := binary.LittleEndian.Uint32(data[off+5+n:])
+	if sum := crc32.ChecksumIEEE(body); sum != stored {
+		return 0, nil, 0, fmt.Errorf("%w: block at offset %d: computed %#x, stored %#x", ErrChecksum, off, sum, stored)
+	}
+	return data[off], body[5:], off + 5 + n + 4, nil
+}
+
+// decodeAll decodes every cell in a marshalled store (header + blocks)
+// matching the options. Strict: a torn tail or corrupt block is an error
+// here; the Writer's reopen path is where torn tails are forgiven.
+func decodeAll(data []byte, opt CellOptions) ([]Cell, error) {
+	off, err := checkHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for off < len(data) {
+		kind, payload, next, err := nextBlock(data, off)
+		if err != nil {
+			return nil, err
+		}
+		if kind == blockSegment {
+			cs, err := decodeSegment(payload, opt)
+			if err != nil {
+				return nil, fmt.Errorf("block at offset %d: %w", off, err)
+			}
+			cells = append(cells, cs...)
+		}
+		// Unknown block kinds are skipped: a v1 reader stays forward-
+		// compatible with files that gained new auxiliary block kinds.
+		off = next
+	}
+	return cells, nil
+}

@@ -1,0 +1,117 @@
+package resultstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MetricIPC is the derived metric name Scan accepts alongside the stored
+// counter columns: retired instructions per cycle, computed per cell from
+// m.Retired and m.Cycles.
+const MetricIPC = "ipc"
+
+// Query is one aggregate question against a store: which cells (tag
+// filters, nil = any) and which metric. Metric is a stored column name
+// ("m.Retired", "llc.InstHits", …) or the derived MetricIPC.
+type Query struct {
+	Workloads []string
+	Designs   []string
+	Seeds     []int64
+	Metric    string
+}
+
+// Group is one aggregate row: the per-cell metric values of one
+// design × workload group, reduced.
+type Group struct {
+	Workload string  `json:"workload"`
+	Design   string  `json:"design"`
+	N        int     `json:"n"`
+	Mean     float64 `json:"mean"`
+	// CI95 is the half-width of the normal-approximation 95% confidence
+	// interval of the mean (0 for a single sample).
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Scan answers an aggregate query: one Group per design × workload pair
+// with at least one matching cell, sorted by workload then design. This is
+// the "IPC CI for every design × workload" question answered from the file
+// alone — no simulator, no journal re-parse.
+func Scan(r *Reader, q Query) ([]Group, error) {
+	if q.Metric == "" {
+		return nil, fmt.Errorf("resultstore: query needs a metric")
+	}
+	cells, err := r.Cells(CellOptions{Workloads: q.Workloads, Designs: q.Designs, Seeds: q.Seeds})
+	if err != nil {
+		return nil, err
+	}
+	type acc struct{ vals []float64 }
+	groups := map[string]*acc{}
+	for i := range cells {
+		v, ok := cellMetric(&cells[i], q.Metric)
+		if !ok {
+			return nil, fmt.Errorf("resultstore: cell %s has no metric %q", cells[i].Key(), q.Metric)
+		}
+		k := cells[i].Workload + "\x00" + cells[i].Design
+		a := groups[k]
+		if a == nil {
+			a = &acc{}
+			groups[k] = a
+		}
+		a.vals = append(a.vals, v)
+	}
+	out := make([]Group, 0, len(groups))
+	for k, a := range groups {
+		parts := strings.SplitN(k, "\x00", 2)
+		g := Group{Workload: parts[0], Design: parts[1], N: len(a.vals)}
+		g.Min, g.Max = a.vals[0], a.vals[0]
+		var sum float64
+		for _, v := range a.vals {
+			sum += v
+			if v < g.Min {
+				g.Min = v
+			}
+			if v > g.Max {
+				g.Max = v
+			}
+		}
+		g.Mean = sum / float64(g.N)
+		if g.N > 1 {
+			var ss float64
+			for _, v := range a.vals {
+				d := v - g.Mean
+				ss += d * d
+			}
+			// Sample stddev, normal approximation: ±1.96·s/√n.
+			g.CI95 = 1.96 * math.Sqrt(ss/float64(g.N-1)) / math.Sqrt(float64(g.N))
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].Design < out[j].Design
+	})
+	return out, nil
+}
+
+// cellMetric resolves a metric name against one cell.
+func cellMetric(c *Cell, name string) (float64, bool) {
+	if name == MetricIPC {
+		cycles, ok := c.Metrics["m.Cycles"]
+		if !ok || cycles == 0 {
+			return 0, ok
+		}
+		retired, ok := c.Metrics["m.Retired"]
+		if !ok {
+			return 0, false
+		}
+		return float64(retired) / float64(cycles), true
+	}
+	v, ok := c.Metrics[name]
+	return float64(v), ok
+}

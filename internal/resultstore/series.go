@@ -1,0 +1,232 @@
+package resultstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// This file is the standalone time-series codec: the blob format that
+// series carry inside a segment (and the unit FuzzSeriesDecode hammers).
+//
+//	uvarint npoints
+//	timestamps: uvarint t0, zigzag Δ0, then zigzag Δ-of-Δ per point
+//	values:     bitstream from the next byte boundary —
+//	            value 0 as 64 raw bits, then per value a Gorilla XOR record:
+//	              0              same value as previous
+//	              10 <sig bits>  XOR fits the previous leading/length window
+//	              11 <5b lead> <6b sig-1> <sig bits>  new window
+//
+// Timestamps come from a fixed sampling cadence, so the delta-of-delta
+// stream is almost all zero bytes; values are occupancy means and IPC,
+// which drift, so consecutive XORs share short significant-bit windows.
+// Deltas use wraparound arithmetic, which makes the round trip exact for
+// arbitrary inputs (the property tests exploit that), not just
+// well-behaved ones.
+
+// bitWriter appends MSB-first bit strings to a byte slice.
+type bitWriter struct {
+	b   []byte
+	acc uint64 // pending bits, left-aligned in the low `n` bits
+	n   uint
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	if n > 32 { // split so acc (≤7 pending bits) cannot overflow
+		w.writeBits(v>>32, n-32)
+		w.writeBits(v&0xFFFFFFFF, 32)
+		return
+	}
+	w.acc = w.acc<<n | v&(^uint64(0)>>(64-n))
+	w.n += n
+	for w.n >= 8 {
+		w.n -= 8
+		w.b = append(w.b, byte(w.acc>>w.n))
+	}
+}
+
+// bytes flushes the partial tail byte (zero-padded) and returns the stream.
+func (w *bitWriter) bytes() []byte {
+	if w.n > 0 {
+		w.b = append(w.b, byte(w.acc<<(8-w.n)))
+		w.acc, w.n = 0, 0
+	}
+	return w.b
+}
+
+// bitReader consumes MSB-first bit strings; reads past the end fail rather
+// than fabricate zeros.
+type bitReader struct {
+	b   []byte
+	off int // bit offset
+}
+
+func (r *bitReader) readBits(n uint) (uint64, bool) {
+	if r.off+int(n) > len(r.b)*8 {
+		return 0, false
+	}
+	var v uint64
+	for n > 0 {
+		byteIdx, bitIdx := r.off/8, uint(r.off%8)
+		avail := 8 - bitIdx
+		take := n
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.b[byteIdx]>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.off += int(take)
+		n -= take
+	}
+	return v, true
+}
+
+// encodeSeriesBlob encodes parallel (cycle, value) points. Lengths must
+// match; the shorter is authoritative if they do not (callers construct
+// both from one loop, so this is belt-and-braces, not an API).
+func encodeSeriesBlob(cycles []uint64, values []float64) []byte {
+	n := len(cycles)
+	if len(values) < n {
+		n = len(values)
+	}
+	out := binary.AppendUvarint(nil, uint64(n))
+	if n == 0 {
+		return out
+	}
+
+	out = binary.AppendUvarint(out, cycles[0])
+	var prevDelta uint64
+	for i := 1; i < n; i++ {
+		delta := cycles[i] - cycles[i-1]
+		out = appendZvarint(out, int64(delta-prevDelta))
+		prevDelta = delta
+	}
+
+	var w bitWriter
+	prev := math.Float64bits(values[0])
+	w.writeBits(prev, 64)
+	// lead/sig describe the currently open significant-bit window; sig == 0
+	// means no window has been opened yet.
+	var lead, sig uint
+	for i := 1; i < n; i++ {
+		cur := math.Float64bits(values[i])
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.writeBits(0, 1)
+			continue
+		}
+		l := uint(bits.LeadingZeros64(xor))
+		if l > 31 {
+			l = 31 // the window's lead field is 5 bits
+		}
+		t := uint(bits.TrailingZeros64(xor))
+		s := 64 - l - t
+		if sig > 0 && l >= lead && 64-lead-sig <= t {
+			// Fits the open window: reuse it.
+			w.writeBits(0b10, 2)
+			w.writeBits(xor>>(64-lead-sig), sig)
+		} else {
+			lead, sig = l, s
+			w.writeBits(0b11, 2)
+			w.writeBits(uint64(lead), 5)
+			w.writeBits(uint64(sig-1), 6)
+			w.writeBits(xor>>t, sig)
+		}
+	}
+	return append(out, w.bytes()...)
+}
+
+// decodeSeriesBlob decodes a series blob. Defensive: the point count is
+// validated against the blob size before any allocation (each point costs
+// at least one timestamp byte), and a bitstream that ends early or reuses
+// a window before opening one is a typed error.
+func decodeSeriesBlob(blob []byte) (cycles []uint64, values []float64, err error) {
+	np, w := binary.Uvarint(blob)
+	if w <= 0 {
+		return nil, nil, fmt.Errorf("%w: series point count", errVarint(w))
+	}
+	rest := blob[w:]
+	if np == 0 {
+		return nil, nil, nil
+	}
+	if np > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: series of %d points in %d bytes", ErrCorrupt, np, len(rest))
+	}
+	n := int(np)
+
+	cycles = make([]uint64, n)
+	t0, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return nil, nil, fmt.Errorf("%w: series first timestamp", errVarint(w))
+	}
+	rest = rest[w:]
+	cycles[0] = t0
+	var prevDelta uint64
+	for i := 1; i < n; i++ {
+		dod, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return nil, nil, fmt.Errorf("%w: series timestamp %d", errVarint(w), i)
+		}
+		rest = rest[w:]
+		prevDelta += uint64(unzigzag(dod))
+		cycles[i] = cycles[i-1] + prevDelta
+	}
+
+	values = make([]float64, n)
+	r := bitReader{b: rest}
+	first, ok := r.readBits(64)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: series first value", ErrTruncated)
+	}
+	prev := first
+	values[0] = math.Float64frombits(prev)
+	var lead, sig uint
+	for i := 1; i < n; i++ {
+		ctl, ok := r.readBits(1)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: series value %d control bit", ErrTruncated, i)
+		}
+		if ctl == 0 {
+			values[i] = math.Float64frombits(prev)
+			continue
+		}
+		reuse, ok := r.readBits(1)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: series value %d control bit", ErrTruncated, i)
+		}
+		if reuse == 0 { // '10': previous window
+			if sig == 0 {
+				return nil, nil, fmt.Errorf("%w: series value %d reuses a window before one was opened", ErrCorrupt, i)
+			}
+		} else { // '11': new window
+			l, ok1 := r.readBits(5)
+			s, ok2 := r.readBits(6)
+			if !ok1 || !ok2 {
+				return nil, nil, fmt.Errorf("%w: series value %d window header", ErrTruncated, i)
+			}
+			lead, sig = uint(l), uint(s)+1
+			if lead+sig > 64 {
+				return nil, nil, fmt.Errorf("%w: series value %d window %d+%d exceeds 64 bits", ErrCorrupt, i, lead, sig)
+			}
+		}
+		mbits, ok := r.readBits(sig)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: series value %d significant bits", ErrTruncated, i)
+		}
+		prev ^= mbits << (64 - lead - sig)
+		values[i] = math.Float64frombits(prev)
+	}
+	return cycles, values, nil
+}
+
+// errVarint maps binary.Uvarint's failure modes onto the typed errors:
+// 0 bytes read means the input ran out, negative means a >64-bit varint.
+func errVarint(w int) error {
+	if w == 0 {
+		return ErrTruncated
+	}
+	return ErrCorrupt
+}

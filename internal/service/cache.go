@@ -263,6 +263,20 @@ func (c *resultCache) compactLocked() {
 	c.deadBytes = 0
 }
 
+// entries returns the live entries in insertion order — the walk the
+// column-store backfill does on startup to repair a lost or torn store.
+func (c *resultCache) entries() []*cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*cacheEntry, 0, len(c.byDigest))
+	for _, digest := range c.order {
+		if e, ok := c.byDigest[digest]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // stats reports the cache's operational counters.
 func (c *resultCache) stats() cacheStats {
 	c.mu.Lock()

@@ -244,6 +244,7 @@ func TestChaosKillResume(t *testing.T) {
 	t.Logf("recovery: %d cached, %d resumed, %d simulated", st.Cached, st.Resumed, st.Simulated)
 
 	// Byte-identical proof for every cell, against fresh standalone runs.
+	freshIPC := make(map[string]float64) // design → fresh-run IPC
 	for _, cell := range spec.normalized().cells() {
 		fresh, err := sim.RunChecked(context.Background(), cell.RunConfig())
 		if err != nil {
@@ -253,6 +254,25 @@ func TestChaosKillResume(t *testing.T) {
 		if got := st.Digests[cell.Digest()]; got != want {
 			t.Fatalf("post-crash result for %s has digest %s, fresh run %s — recovery is not bit-exact",
 				cell.Key(), got, want)
+		}
+		freshIPC[cell.Design] = float64(fresh.M.Retired) / float64(fresh.M.Cycles)
+	}
+
+	// The column store took the same SIGKILL — the child fsyncs it one cell
+	// at a time, so the kill can land mid-block-write. Recovery (torn-tail
+	// truncation + cache backfill) must leave /v1/query answering with
+	// exactly the fresh-run numbers.
+	var qr queryResponse
+	if code := e.getJSON("/v1/query?metric=ipc", &qr); code != http.StatusOK {
+		t.Fatalf("post-crash /v1/query = %d", code)
+	}
+	if len(qr.Groups) != 3 {
+		t.Fatalf("post-crash query has %d groups, want one per design: %+v", len(qr.Groups), qr.Groups)
+	}
+	for _, g := range qr.Groups {
+		want, ok := freshIPC[g.Design]
+		if !ok || g.N != 1 || g.Mean != want {
+			t.Fatalf("post-crash store aggregate for %s = %+v, want N=1 mean exactly %v", g.Design, g, want)
 		}
 	}
 }

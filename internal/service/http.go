@@ -35,6 +35,7 @@ const resultsPollInterval = 50 * time.Millisecond
 //	GET  /v1/jobs              — list all jobs
 //	GET  /v1/jobs/{id}         — one job's status
 //	GET  /v1/jobs/{id}/results — stream outcomes + result bodies as JSONL
+//	GET  /v1/query             — aggregate metrics from the columnar result store
 //	GET  /v1/deadletters       — the poisoned-cell list
 //	GET  /v1/healthz           — liveness + operational stats (503 on drain)
 //
@@ -55,6 +56,7 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/deadletters", s.handleDeadLetters)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dnc/internal/httpx"
+	"dnc/internal/resultstore"
 	"dnc/internal/service/workerproto"
 	"dnc/internal/sim"
 	"dnc/internal/sim/runner"
@@ -145,7 +146,11 @@ type Stats struct {
 	// CacheEvictions counts entries evicted under Config.CacheMaxBytes.
 	CacheBytes     int64  `json:"cache_bytes"`
 	CacheEvictions uint64 `json:"cache_evictions"`
-	DeadLetters    int    `json:"dead_letters"`
+	// StoreCells/StoreBytes describe the columnar result store (the
+	// cache's queryable sidecar serving /v1/query; see store.go).
+	StoreCells  int   `json:"store_cells"`
+	StoreBytes  int64 `json:"store_bytes"`
+	DeadLetters int   `json:"dead_letters"`
 	dispatchStats
 	// Degraded is true when zero live remote workers are registered and
 	// cells execute on the in-process pool.
@@ -171,6 +176,12 @@ type Server struct {
 
 	ln      net.Listener
 	httpSrv *http.Server
+
+	// storeMu guards the columnar result store (the cache's queryable
+	// sidecar; see store.go). Separate from mu: store appends fsync.
+	storeMu   sync.Mutex
+	store     *resultstore.Writer
+	storePath string
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -231,9 +242,14 @@ func New(cfg Config) (*Server, error) {
 		cache.close()
 		return nil, err
 	}
+	if err := s.openStore(); err != nil {
+		cache.close()
+		return nil, fmt.Errorf("service: opening column store: %w", err)
+	}
 
 	terminal, pending, maxSeq, err := loadJobs(jobsDir)
 	if err != nil {
+		s.closeStore()
 		cache.close()
 		return nil, fmt.Errorf("service: recovering jobs: %w", err)
 	}
@@ -373,9 +389,12 @@ func (s *Server) Jobs() []JobStatus {
 func (s *Server) Stats() Stats {
 	cs := s.cache.stats()
 	ds := s.dispatch.stats()
+	storeCells, storeBytes := s.storeStats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
+		StoreCells:     storeCells,
+		StoreBytes:     storeBytes,
 		Draining:       s.draining,
 		Jobs:           len(s.jobs),
 		Queued:         s.queue.len(),
@@ -435,6 +454,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	if err := s.cache.close(); err != nil {
 		errs = append(errs, err)
+	}
+	if err := s.closeStore(); err != nil {
+		errs = append(errs, fmt.Errorf("service: closing column store: %w", err))
 	}
 	s.mu.Lock()
 	if s.deadF != nil {
@@ -533,6 +555,7 @@ func (s *Server) runJob(j *job) {
 			switch cr.Status {
 			case runner.StatusOK, runner.StatusResumed:
 				e := s.cache.insert(cell, runner.NewResultJSON(cr.Result))
+				s.appendStore(cell, e.Result)
 				status := OutcomeSimulated
 				if cr.Status == runner.StatusResumed {
 					status = OutcomeResumed
@@ -759,6 +782,7 @@ func (s *Server) completeCell(digest string, req workerproto.CompleteRequest) (w
 		return workerproto.CompleteResponse{}, http.StatusConflict,
 			fmt.Errorf("service: upload for %s lost a race to a non-identical result (determinism violation)", digest)
 	}
+	s.appendStore(req.Spec, e.Result)
 	s.dispatch.countAdmitted()
 	s.rec.Verified(digest)
 	s.rec.ExecEnd(digest, req.WorkerID, "admitted")

@@ -42,6 +42,10 @@ func statTable() []statEntry {
 			func(s Stats) any { return s.CacheBytes }},
 		{"cache_evictions", "Cache entries evicted under the size bound.",
 			func(s Stats) any { return s.CacheEvictions }},
+		{"store_cells", "Cells persisted in the columnar result store (serves /v1/query).",
+			func(s Stats) any { return s.StoreCells }},
+		{"store_bytes", "On-disk size of the columnar result store file.",
+			func(s Stats) any { return s.StoreBytes }},
 		{"dead_letters", "Cells on the poisoned-cell list.",
 			func(s Stats) any { return s.DeadLetters }},
 		{"workers_registered", "Worker registrations ever (this process).",

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dnc/internal/resultstore"
+)
+
+// queryResponse mirrors handleQuery's body.
+type queryResponse struct {
+	Metric string              `json:"metric"`
+	Groups []resultstore.Group `json:"groups"`
+}
+
+// TestStoreQueryAndRecovery proves the column store sidecar end to end:
+// admitted cells become queryable aggregates; the aggregates match values
+// derived independently from the executor's arithmetic; and a store file
+// truncated mid-block and fouled with trailing garbage is repaired on
+// restart (torn tail cut at the last valid checksum, missing cells
+// backfilled from the cache) with byte-identical query answers.
+func TestStoreQueryAndRecovery(t *testing.T) {
+	e := newTestEnv(t, func(c *Config) {
+		c.RunCell = fakeRunCell
+		c.Workers = 1
+		c.CellJobs = 1 // deterministic append order → bit-stable float sums
+	})
+	spec := smallSpec()
+	spec.Workloads = []string{"Web-Frontend", "Web-Search"}
+	spec.Designs = []string{"baseline", "NL"}
+	spec.Seeds = []int64{1, 2, 3}
+
+	st := e.waitJob(e.submit(spec).ID)
+	if st.State != JobDone || st.Simulated != 12 {
+		t.Fatalf("job = %s with %d simulated, want done with 12", st.State, st.Simulated)
+	}
+
+	// fakeRunCell sets Cycles=MeasureCycles and Retired=seed*1000, so the
+	// expected group means are computable exactly — same float ops, same
+	// order as Scan (file order is seed order under one sequential worker).
+	wantMean := func(seeds ...int64) float64 {
+		var sum float64
+		for _, s := range seeds {
+			sum += float64(uint64(s)*1000) / float64(spec.MeasureCycles)
+		}
+		return sum / float64(len(seeds))
+	}
+	checkQuery := func(label string) {
+		t.Helper()
+		var qr queryResponse
+		if code := e.getJSON("/v1/query?metric=ipc", &qr); code != http.StatusOK {
+			t.Fatalf("[%s] GET /v1/query = %d", label, code)
+		}
+		if qr.Metric != "ipc" || len(qr.Groups) != 4 {
+			t.Fatalf("[%s] query = metric %q with %d groups, want ipc with 4", label, qr.Metric, len(qr.Groups))
+		}
+		for _, g := range qr.Groups {
+			if g.N != 3 {
+				t.Fatalf("[%s] group %s/%s has N=%d, want 3", label, g.Workload, g.Design, g.N)
+			}
+			if want := wantMean(1, 2, 3); g.Mean != want {
+				t.Fatalf("[%s] group %s/%s mean = %v, want exactly %v", label, g.Workload, g.Design, g.Mean, want)
+			}
+		}
+		// Filters push down: one workload, one seed.
+		var filtered queryResponse
+		if code := e.getJSON("/v1/query?metric=ipc&workload=Web-Search&seed=2", &filtered); code != http.StatusOK {
+			t.Fatalf("[%s] filtered query failed", label)
+		}
+		if len(filtered.Groups) != 2 {
+			t.Fatalf("[%s] filtered query has %d groups, want 2", label, len(filtered.Groups))
+		}
+		for _, g := range filtered.Groups {
+			if g.Workload != "Web-Search" || g.N != 1 || g.Mean != wantMean(2) {
+				t.Fatalf("[%s] filtered group = %+v", label, g)
+			}
+		}
+	}
+	checkQuery("live")
+
+	var before queryResponse
+	e.getJSON("/v1/query?metric=ipc", &before)
+
+	stats := e.srv.Stats()
+	if stats.StoreCells != 12 || stats.StoreBytes <= 0 {
+		t.Fatalf("stats = %d cells %d bytes, want 12 cells and a non-empty file", stats.StoreCells, stats.StoreBytes)
+	}
+
+	// Bad queries are the client's fault, not a 500.
+	if code := e.getJSON("/v1/query?seed=banana", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad seed filter = %d, want 400", code)
+	}
+	if code := e.getJSON("/v1/query?metric=no.such.counter", nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown metric = %d, want 400", code)
+	}
+
+	// Crash damage: drain, truncate the store mid-file (torn block), then
+	// append garbage (a corrupt tail after valid bytes).
+	e.drain()
+	storePath := filepath.Join(e.dataDir, storeFile)
+	fi, err := os.Stat(storePath)
+	if err != nil {
+		t.Fatalf("store file missing after drain: %v", err)
+	}
+	if err := os.Truncate(storePath, fi.Size()/2); err != nil {
+		t.Fatalf("truncating store: %v", err)
+	}
+	f, err := os.OpenFile(storePath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("\xde\xad\xbe\xef this is not a block"))
+	f.Close()
+
+	// Restart over the same data dir: openStore truncates the torn tail and
+	// backfills every missing cell from the cache.
+	e2 := newTestEnv(t, func(c *Config) {
+		c.DataDir = e.dataDir
+		c.RunCell = fakeRunCell
+		c.Workers = 1
+		c.CellJobs = 1
+	})
+	e = e2
+	checkQuery("recovered")
+	var after queryResponse
+	e.getJSON("/v1/query?metric=ipc", &after)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("recovered query answers differ:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if got := e.srv.Stats().StoreCells; got != 12 {
+		t.Fatalf("recovered store holds %d cells, want 12", got)
+	}
+
+	// The repaired file passes a full integrity sweep.
+	e.drain()
+	data, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resultstore.Verify(data); err != nil {
+		t.Fatalf("recovered store fails verification: %v", err)
+	}
+
+	// Wholesale loss: delete the store outright; the next boot rebuilds it
+	// from the cache alone.
+	if err := os.Remove(storePath); err != nil {
+		t.Fatal(err)
+	}
+	e3 := newTestEnv(t, func(c *Config) {
+		c.DataDir = e.dataDir
+		c.RunCell = fakeRunCell
+		c.Workers = 1
+		c.CellJobs = 1
+	})
+	e = e3
+	checkQuery("rebuilt")
+	if got := e.srv.Stats().StoreCells; got != 12 {
+		t.Fatalf("rebuilt store holds %d cells, want 12", got)
+	}
+}

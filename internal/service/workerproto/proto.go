@@ -24,6 +24,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"dnc/internal/core"
@@ -53,12 +55,76 @@ type CellSpec struct {
 // (simulator semantics are pinned separately by the difftest suite) must
 // bump it so stale cache entries can never alias new cells.
 func (c CellSpec) Key() string {
-	mode := "fixed"
-	if c.Mode == isa.Variable {
-		mode = "variable"
-	}
 	return fmt.Sprintf("v1|w=%s|d=%s|m=%s|c=%d|warm=%d|meas=%d|seed=%d",
-		c.Workload, c.Design, mode, c.Cores, c.Warm, c.Measure, c.Seed)
+		c.Workload, c.Design, c.ModeString(), c.Cores, c.Warm, c.Measure, c.Seed)
+}
+
+// ModeString is the mode's canonical key token ("fixed" or "variable").
+func (c CellSpec) ModeString() string {
+	if c.Mode == isa.Variable {
+		return "variable"
+	}
+	return "fixed"
+}
+
+// ParseKey inverts Key: it parses a canonical v1 cell-identity string back
+// into its spec. The result cache persists keys, so rebuilding derived
+// artifacts from the cache — the column-store backfill on dncserved
+// startup — means recovering each cell's tags from its key alone. A key
+// from a different keying-scheme version, or any malformed string, returns
+// false. (Workload and design names never contain '|'; the catalog and
+// preset tables enforce that implicitly by construction.)
+func ParseKey(key string) (CellSpec, bool) {
+	parts := strings.Split(key, "|")
+	if len(parts) != 8 || parts[0] != "v1" {
+		return CellSpec{}, false
+	}
+	var c CellSpec
+	fields := []struct {
+		prefix string
+		set    func(string) bool
+	}{
+		{"w=", func(v string) bool { c.Workload = v; return v != "" }},
+		{"d=", func(v string) bool { c.Design = v; return v != "" }},
+		{"m=", func(v string) bool {
+			switch v {
+			case "fixed":
+				c.Mode = isa.Fixed
+			case "variable":
+				c.Mode = isa.Variable
+			default:
+				return false
+			}
+			return true
+		}},
+		{"c=", func(v string) bool {
+			n, err := strconv.Atoi(v)
+			c.Cores = n
+			return err == nil
+		}},
+		{"warm=", func(v string) bool {
+			n, err := strconv.ParseUint(v, 10, 64)
+			c.Warm = n
+			return err == nil
+		}},
+		{"meas=", func(v string) bool {
+			n, err := strconv.ParseUint(v, 10, 64)
+			c.Measure = n
+			return err == nil
+		}},
+		{"seed=", func(v string) bool {
+			n, err := strconv.ParseInt(v, 10, 64)
+			c.Seed = n
+			return err == nil
+		}},
+	}
+	for i, f := range fields {
+		p := parts[i+1]
+		if !strings.HasPrefix(p, f.prefix) || !f.set(p[len(f.prefix):]) {
+			return CellSpec{}, false
+		}
+	}
+	return c, true
 }
 
 // Digest is the cell's content address: SHA-256 of Key, hex-encoded. A

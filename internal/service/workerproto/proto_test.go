@@ -29,6 +29,44 @@ func TestKeyStability(t *testing.T) {
 	}
 }
 
+// TestParseKeyRoundTrip: ParseKey is the exact inverse of Key for every
+// mode and for negative seeds, and rejects anything that is not a
+// well-formed v1 key — the property the store backfill path leans on.
+func TestParseKeyRoundTrip(t *testing.T) {
+	specs := []CellSpec{
+		{Workload: "OLTP-DB-A", Design: "SN4L+Dis+BTB", Mode: isa.Variable,
+			Cores: 8, Warm: 100, Measure: 200, Seed: 3},
+		{Workload: "Web-Frontend", Design: "baseline", Mode: isa.Fixed,
+			Cores: 2, Warm: 600, Measure: 600, Seed: -7},
+		{Workload: "Media-Streaming", Design: "confluence", Cores: 16,
+			Warm: 200_000, Measure: 200_000, Seed: 0},
+	}
+	for _, c := range specs {
+		got, ok := ParseKey(c.Key())
+		if !ok {
+			t.Fatalf("ParseKey rejected its own key %q", c.Key())
+		}
+		if got != c {
+			t.Fatalf("ParseKey(%q) = %+v, want %+v", c.Key(), got, c)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"v2|w=a|d=b|m=fixed|c=1|warm=1|meas=1|seed=1",
+		"v1|w=a|d=b|m=fixed|c=1|warm=1|meas=1",
+		"v1|w=a|d=b|m=sometimes|c=1|warm=1|meas=1|seed=1",
+		"v1|w=|d=b|m=fixed|c=1|warm=1|meas=1|seed=1",
+		"v1|w=a|d=b|m=fixed|c=x|warm=1|meas=1|seed=1",
+		"v1|w=a|d=b|m=fixed|c=1|warm=-2|meas=1|seed=1",
+		"v1|w=a|d=b|m=fixed|c=1|warm=1|meas=1|seed=1|extra=9",
+		"v1|d=b|w=a|m=fixed|c=1|warm=1|meas=1|seed=1",
+	} {
+		if spec, ok := ParseKey(bad); ok {
+			t.Fatalf("ParseKey accepted malformed key %q as %+v", bad, spec)
+		}
+	}
+}
+
 func TestSpecRoundTripsJSON(t *testing.T) {
 	c := CellSpec{Workload: "Web-Frontend", Design: "baseline", Cores: 2, Warm: 600, Measure: 600, Seed: 1}
 	b, err := json.Marshal(c)

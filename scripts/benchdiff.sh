@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# benchdiff.sh — engine benchmark regression gate.
+# benchdiff.sh — benchmark regression gate.
 #
-# Runs the internal/sim engine benchmarks (BenchmarkEngineBaseline,
-# BenchmarkEngineSN4LDisBTB: the default 4-core 200K+200K configuration
-# under the no-prefetch baseline and the paper's headline design), takes the
-# minimum ns/op over -count repetitions (the minimum is the least noisy
-# wall-clock estimator on shared CI runners), and compares each against the
-# committed reference in BENCH_engine.json. A benchmark more than
+# Two gated suites:
+#
+#   engine       internal/sim BenchmarkEngineBaseline + BenchmarkEngineSN4LDisBTB
+#                (the default 4-core 200K+200K configuration under the
+#                no-prefetch baseline and the paper's headline design),
+#                compared against BENCH_engine.json.
+#   resultstore  internal/resultstore BenchmarkSeriesEncode + BenchmarkSeriesDecode
+#                (the store's time-series codec hot paths: delta-of-delta
+#                timestamps + Gorilla XOR values), compared against
+#                BENCH_resultstore.json.
+#
+# Each suite takes the minimum ns/op over -count repetitions (the minimum is
+# the least noisy wall-clock estimator on shared CI runners) and compares
+# each benchmark against its committed reference. A benchmark more than
 # BENCH_THRESHOLD_PCT percent slower than its reference fails the script.
 #
 # Usage:
-#   scripts/benchdiff.sh            # compare against BENCH_engine.json
-#   scripts/benchdiff.sh -update    # re-measure and rewrite BENCH_engine.json
+#   scripts/benchdiff.sh            # compare against the committed references
+#   scripts/benchdiff.sh -update    # re-measure and rewrite the references
 #
 # Environment:
 #   BENCH_THRESHOLD_PCT   allowed ns/op regression in percent (default 25).
@@ -24,67 +32,88 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-REF=BENCH_engine.json
 THRESHOLD=${BENCH_THRESHOLD_PCT:-25}
 COUNT=${BENCH_COUNT:-3}
 BENCHTIME=${BENCH_TIME:-3x}
 MODE=${1:-check}
 
-OUT=$(go test ./internal/sim/ -run '^$' -bench BenchmarkEngine \
-	-benchtime "$BENCHTIME" -count "$COUNT" 2>&1) || {
-	echo "$OUT"
-	echo "benchdiff: benchmark run failed" >&2
-	exit 1
-}
-echo "$OUT"
-
-# Minimum ns/op and allocs/op per benchmark, from lines like:
-#   BenchmarkEngineBaseline   3   142028384 ns/op   19336872 B/op   32945 allocs/op
-min_ns() {
-	echo "$OUT" | awk -v name="$1" \
-		'$1 ~ "^"name"(-[0-9]+)?$" { if (min == "" || $3 < min) min = $3 } END { print min }'
-}
-min_allocs() {
-	echo "$OUT" | awk -v name="$1" \
-		'$1 ~ "^"name"(-[0-9]+)?$" { if (min == "" || $7 < min) min = $7 } END { print min }'
-}
-
-BENCHES="BenchmarkEngineBaseline BenchmarkEngineSN4LDisBTB"
-
-if [ "$MODE" = "-update" ]; then
-	{
-		echo '{'
-		echo '  "note": "engine benchmark reference: min ns/op over '"$COUNT"'x -benchtime '"$BENCHTIME"' runs; update with scripts/benchdiff.sh -update",'
-		echo '  "benchmarks": {'
-		sep=''
-		for b in $BENCHES; do
-			ns=$(min_ns "$b")
-			al=$(min_allocs "$b")
-			[ -n "$ns" ] || { echo "benchdiff: no result for $b" >&2; exit 1; }
-			printf '%s    "%s": {"ns_per_op": %s, "allocs_per_op": %s}' "$sep" "$b" "$ns" "$al"
-			sep=$',\n'
-		done
-		printf '\n  }\n}\n'
-	} >"$REF"
-	echo "benchdiff: wrote $REF"
-	exit 0
-fi
-
-[ -f "$REF" ] || { echo "benchdiff: $REF missing (run scripts/benchdiff.sh -update)" >&2; exit 1; }
-
 fail=0
-for b in $BENCHES; do
-	ns=$(min_ns "$b")
-	[ -n "$ns" ] || { echo "benchdiff: no result for $b" >&2; exit 1; }
-	ref=$(sed -n 's/.*"'"$b"'": {"ns_per_op": \([0-9]*\),.*/\1/p' "$REF")
-	[ -n "$ref" ] || { echo "benchdiff: $b missing from $REF" >&2; exit 1; }
-	limit=$((ref + ref * THRESHOLD / 100))
-	pct=$(( (ns - ref) * 100 / ref ))
-	if [ "$ns" -gt "$limit" ]; then
-		echo "benchdiff: FAIL $b: $ns ns/op is ${pct}% over reference $ref (limit +${THRESHOLD}%)"
-		fail=1
-	else
-		echo "benchdiff: ok   $b: $ns ns/op vs reference $ref (${pct}%, limit +${THRESHOLD}%)"
+
+# run_suite <label> <package> <bench-regex> <ref-file> <bench names...>
+# Runs one benchmark suite and either rewrites its reference (-update) or
+# compares each named benchmark's min ns/op against it.
+run_suite() {
+	local label="$1" pkg="$2" regex="$3" ref="$4"
+	shift 4
+	local benches="$*"
+
+	local out
+	out=$(go test "$pkg" -run '^$' -bench "$regex" \
+		-benchtime "$BENCHTIME" -count "$COUNT" 2>&1) || {
+		echo "$out"
+		echo "benchdiff: $label benchmark run failed" >&2
+		exit 1
+	}
+	echo "$out"
+
+	# Minimum ns/op and allocs/op per benchmark, from lines like:
+	#   BenchmarkEngineBaseline   3   142028384 ns/op   19336872 B/op   32945 allocs/op
+	# The value is the field before its unit label, so extra columns a
+	# benchmark reports (MB/s throughput) cannot shift the parse.
+	min_unit() {
+		echo "$out" | awk -v name="$1" -v unit="$2" '
+			$1 ~ "^"name"(-[0-9]+)?$" {
+				for (i = 2; i <= NF; i++)
+					if ($i == unit && (min == "" || $(i-1) + 0 < min + 0)) min = $(i-1)
+			}
+			END { print min }'
+	}
+	min_ns() { min_unit "$1" "ns/op"; }
+	min_allocs() { min_unit "$1" "allocs/op"; }
+
+	if [ "$MODE" = "-update" ]; then
+		{
+			echo '{'
+			echo '  "note": "'"$label"' benchmark reference: min ns/op over '"$COUNT"'x -benchtime '"$BENCHTIME"' runs; update with scripts/benchdiff.sh -update",'
+			echo '  "benchmarks": {'
+			local sep='' b ns al
+			for b in $benches; do
+				ns=$(min_ns "$b")
+				al=$(min_allocs "$b")
+				[ -n "$ns" ] || { echo "benchdiff: no result for $b" >&2; exit 1; }
+				printf '%s    "%s": {"ns_per_op": %s, "allocs_per_op": %s}' "$sep" "$b" "$ns" "$al"
+				sep=$',\n'
+			done
+			printf '\n  }\n}\n'
+		} >"$ref"
+		echo "benchdiff: wrote $ref"
+		return 0
 	fi
-done
+
+	[ -f "$ref" ] || { echo "benchdiff: $ref missing (run scripts/benchdiff.sh -update)" >&2; exit 1; }
+
+	local b ns refv limit pct
+	for b in $benches; do
+		ns=$(min_ns "$b")
+		[ -n "$ns" ] || { echo "benchdiff: no result for $b" >&2; exit 1; }
+		refv=$(sed -n 's/.*"'"$b"'": {"ns_per_op": \([0-9]*\),.*/\1/p' "$ref")
+		[ -n "$refv" ] || { echo "benchdiff: $b missing from $ref" >&2; exit 1; }
+		limit=$((refv + refv * THRESHOLD / 100))
+		pct=$(( (ns - refv) * 100 / refv ))
+		if [ "$ns" -gt "$limit" ]; then
+			echo "benchdiff: FAIL $b: $ns ns/op is ${pct}% over reference $refv (limit +${THRESHOLD}%)"
+			fail=1
+		else
+			echo "benchdiff: ok   $b: $ns ns/op vs reference $refv (${pct}%, limit +${THRESHOLD}%)"
+		fi
+	done
+}
+
+run_suite engine ./internal/sim/ BenchmarkEngine BENCH_engine.json \
+	BenchmarkEngineBaseline BenchmarkEngineSN4LDisBTB
+
+run_suite resultstore ./internal/resultstore/ \
+	'^(BenchmarkSeriesEncode|BenchmarkSeriesDecode)$' BENCH_resultstore.json \
+	BenchmarkSeriesEncode BenchmarkSeriesDecode
+
 exit $fail
