@@ -9,15 +9,24 @@ import "dnc/internal/isa"
 
 // Table is a set-associative LRU table keyed by address, generic over the
 // payload type. It is the building block for every BTB organization here.
+//
+// Keys are mirrored in a packed side array (shifted key with an always-set
+// valid bit; 0 = empty way) so the way scan of a lookup touches contiguous
+// words instead of striding across payload-sized records. The mirror is
+// derived state, maintained by every write to a line's key/valid pair.
 type Table[V any] struct {
 	sets  int
 	ways  int
 	lines []tline[V]
+	tags  []uint64 // tagKey per line; 0 = invalid
 	clock uint64
 
 	lookups uint64
 	hits    uint64
 }
+
+// tagKey packs a key and an always-set valid bit into one comparable word.
+func tagKey(key isa.Addr) uint64 { return uint64(key)<<1 | 1 }
 
 type tline[V any] struct {
 	key   isa.Addr
@@ -35,7 +44,7 @@ func NewTable[V any](entries, ways int) *Table[V] {
 	if sets&(sets-1) != 0 {
 		panic("btb: set count must be a power of two")
 	}
-	return &Table[V]{sets: sets, ways: ways, lines: make([]tline[V], entries)}
+	return &Table[V]{sets: sets, ways: ways, lines: make([]tline[V], entries), tags: make([]uint64, entries)}
 }
 
 // Entries returns the capacity.
@@ -47,10 +56,10 @@ func (t *Table[V]) setOf(key isa.Addr) int {
 
 func (t *Table[V]) find(key isa.Addr) *tline[V] {
 	s := t.setOf(key) * t.ways
-	for i := 0; i < t.ways; i++ {
-		l := &t.lines[s+i]
-		if l.valid && l.key == key {
-			return l
+	k := tagKey(key)
+	for i, tg := range t.tags[s : s+t.ways] {
+		if tg == k {
+			return &t.lines[s+i]
 		}
 	}
 	return nil
@@ -98,17 +107,18 @@ func (t *Table[V]) Insert(key isa.Addr, val V) (isa.Addr, bool) {
 		return 0, false
 	}
 	s := t.setOf(key) * t.ways
-	victim := &t.lines[s]
-	for i := 0; i < t.ways; i++ {
-		l := &t.lines[s+i]
+	vi := s
+	for i := s; i < s+t.ways; i++ {
+		l := &t.lines[i]
 		if !l.valid {
-			victim = l
+			vi = i
 			break
 		}
-		if l.lru < victim.lru {
-			victim = l
+		if l.lru < t.lines[vi].lru {
+			vi = i
 		}
 	}
+	victim := &t.lines[vi]
 	var evictedKey isa.Addr
 	evicted := victim.valid
 	if evicted {
@@ -116,14 +126,20 @@ func (t *Table[V]) Insert(key isa.Addr, val V) (isa.Addr, bool) {
 	}
 	t.clock++
 	*victim = tline[V]{key: key, valid: true, lru: t.clock, val: val}
+	t.tags[vi] = tagKey(key)
 	return evictedKey, evicted
 }
 
 // Invalidate removes key, reporting whether it was present.
 func (t *Table[V]) Invalidate(key isa.Addr) bool {
-	if l := t.find(key); l != nil {
-		*l = tline[V]{}
-		return true
+	s := t.setOf(key) * t.ways
+	k := tagKey(key)
+	for i, tg := range t.tags[s : s+t.ways] {
+		if tg == k {
+			t.lines[s+i] = tline[V]{}
+			t.tags[s+i] = 0
+			return true
+		}
 	}
 	return false
 }

@@ -49,6 +49,11 @@ func (t *Table[V]) Restore(d *checkpoint.Decoder, dec func(*checkpoint.Decoder) 
 		l.valid = d.Bool()
 		l.lru = d.U64()
 		l.val = dec(d)
+		if l.valid {
+			t.tags[i] = tagKey(l.key)
+		} else {
+			t.tags[i] = 0
+		}
 	}
 	return d.End()
 }

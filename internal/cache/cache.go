@@ -46,12 +46,28 @@ type Evicted struct {
 }
 
 // Cache is a set-associative LRU cache operating on 64-byte block IDs.
+//
+// Residency tags and recency clocks live in packed side arrays (one word
+// per way each) separate from the Line metadata: a find scans contiguous
+// words instead of striding across 32-byte Line records, and Insert's
+// victim selection is one more contiguous scan (invalid ways carry recency
+// 0, so the leftmost minimum is the first-invalid-else-LRU way). Both
+// mirrors are derived state, maintained by every line write and rebuilt by
+// Restore.
 type Cache struct {
 	sets  int
 	ways  int
 	lines []Line
+	tags  []uint64 // tagKey(block) per line; 0 = invalid
+	lrus  []uint64 // recency clock per line; 0 = invalid (clock starts at 1)
+	hints []uint8  // last way find/Access hit per set — a guess, verified on use
 	clock uint64
 }
+
+// tagKey packs a block and an always-set valid bit into one comparable word,
+// so find is a single equality test per way and an invalid slot (0) can
+// never match a probe.
+func tagKey(b isa.BlockID) uint64 { return uint64(b)<<1 | 1 }
 
 // New returns a cache of the given total size and associativity. Size must
 // be a multiple of ways*64 and the resulting set count a power of two.
@@ -65,7 +81,9 @@ func New(sizeBytes, ways int) *Cache {
 		panic(fmt.Sprintf("cache: set count %d not a power of two (size=%d ways=%d)",
 			sets, sizeBytes, ways))
 	}
-	return &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways)}
+	return &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways),
+		tags: make([]uint64, sets*ways), lrus: make([]uint64, sets*ways),
+		hints: make([]uint8, sets)}
 }
 
 // Sets returns the number of sets.
@@ -79,14 +97,30 @@ func (c *Cache) SizeBytes() int { return c.sets * c.ways * isa.BlockBytes }
 
 func (c *Cache) setOf(b isa.BlockID) int { return int(uint64(b) & uint64(c.sets-1)) }
 
+// findIdx returns the line index holding b, or -1. The per-set MRU hint
+// short-circuits the way scan for re-probes of a recently found block; a
+// hint is only a guess, verified against the tag mirror, so a stale one
+// costs a scan but can never misidentify a line.
+func (c *Cache) findIdx(b isa.BlockID) int {
+	si := c.setOf(b)
+	s := si * c.ways
+	key := tagKey(b)
+	if h := int(c.hints[si]); h < c.ways && c.tags[s+h] == key {
+		return s + h
+	}
+	for i, t := range c.tags[s : s+c.ways] {
+		if t == key {
+			c.hints[si] = uint8(i)
+			return s + i
+		}
+	}
+	return -1
+}
+
 // find returns the line holding b, or nil.
 func (c *Cache) find(b isa.BlockID) *Line {
-	s := c.setOf(b) * c.ways
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[s+i]
-		if l.valid && l.tag == b {
-			return l
-		}
+	if i := c.findIdx(b); i >= 0 {
+		return &c.lines[i]
 	}
 	return nil
 }
@@ -102,13 +136,14 @@ func (c *Cache) Line(b isa.BlockID) *Line { return c.find(b) }
 // Access performs a demand lookup: on hit it promotes the line to MRU and
 // returns it; on miss it returns nil.
 func (c *Cache) Access(b isa.BlockID) *Line {
-	l := c.find(b)
-	if l == nil {
+	i := c.findIdx(b)
+	if i < 0 {
 		return nil
 	}
 	c.clock++
-	l.lru = c.clock
-	return l
+	c.lines[i].lru = c.clock
+	c.lrus[i] = c.clock
+	return &c.lines[i]
 }
 
 // Insert fills block b, evicting the LRU way if the set is full. It returns
@@ -116,40 +151,47 @@ func (c *Cache) Access(b isa.BlockID) *Line {
 // (evicted reports whether ev is meaningful). The victim is returned by
 // value so the per-fill fast path never allocates.
 func (c *Cache) Insert(b isa.BlockID) (l *Line, ev Evicted, evicted bool) {
-	if l := c.find(b); l != nil {
-		// Refill of a resident block: treat as a touch.
-		c.clock++
-		l.lru = c.clock
-		return l, Evicted{}, false
-	}
 	s := c.setOf(b) * c.ways
-	victim := &c.lines[s]
-	for i := 1; i < c.ways; i++ {
-		l := &c.lines[s+i]
-		if !l.valid {
-			victim = l
-			break
+	key := tagKey(b)
+	vi := s
+	for i, t := range c.tags[s : s+c.ways] {
+		if t == key {
+			// Refill of a resident block: treat as a touch.
+			c.clock++
+			l := &c.lines[s+i]
+			l.lru = c.clock
+			c.lrus[s+i] = c.clock
+			return l, Evicted{}, false
 		}
-		if !victim.valid {
-			break
-		}
-		if l.lru < victim.lru {
-			victim = l
+		// Victim pre-selection rides the same scan: the recency mirror is 0
+		// for invalid ways, so the leftmost minimum is exactly the
+		// first-invalid-else-LRU way the two-pass scan used to pick.
+		if c.lrus[i+s] < c.lrus[vi] {
+			vi = i + s
 		}
 	}
+	victim := &c.lines[vi]
 	if victim.valid {
 		ev, evicted = Evicted{Block: victim.tag, Flags: victim.Flags, Aux: victim.Aux}, true
 	}
 	c.clock++
 	*victim = Line{tag: b, valid: true, lru: c.clock}
+	c.tags[vi] = key
+	c.lrus[vi] = c.clock
 	return victim, ev, evicted
 }
 
 // Invalidate removes block b if resident, returning whether it was.
 func (c *Cache) Invalidate(b isa.BlockID) bool {
-	if l := c.find(b); l != nil {
-		*l = Line{}
-		return true
+	s := c.setOf(b) * c.ways
+	key := tagKey(b)
+	for i, t := range c.tags[s : s+c.ways] {
+		if t == key {
+			c.lines[s+i] = Line{}
+			c.tags[s+i] = 0
+			c.lrus[s+i] = 0
+			return true
+		}
 	}
 	return false
 }
@@ -159,6 +201,8 @@ func (c *Cache) Reset() {
 	for i := range c.lines {
 		c.lines[i] = Line{}
 	}
+	clear(c.tags)
+	clear(c.lrus)
 	c.clock = 0
 }
 
@@ -203,6 +247,13 @@ func (c *Cache) Restore(d *checkpoint.Decoder) error {
 		l.lru = d.U64()
 		l.Flags = d.U8()
 		l.Aux = d.U8()
+		if l.valid {
+			c.tags[i] = tagKey(l.tag)
+			c.lrus[i] = l.lru
+		} else {
+			c.tags[i] = 0
+			c.lrus[i] = 0
+		}
 	}
 	return d.End()
 }

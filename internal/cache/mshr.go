@@ -2,7 +2,6 @@ package cache
 
 import (
 	"fmt"
-	"slices"
 	"sort"
 
 	"dnc/internal/blockmap"
@@ -39,10 +38,15 @@ const demandSlack = 64
 // MSHRFile is a fixed-capacity set of in-flight misses indexed by block.
 // Entries live in an open-addressed table (internal/blockmap) presized for
 // capacity plus the demand-reservation slack, so steady-state operation
-// never allocates; the file additionally tracks the earliest outstanding
-// ReadyCycle so fill processing is O(1) on the (common) cycles where no
-// fill is due, and so the engine can fast-forward an idle core directly to
-// its next wakeup.
+// never allocates; the file additionally keeps a binary min-heap of
+// (ReadyCycle, Block) keys so the earliest outstanding fill is a peek and
+// the due entries of a cycle pop off in exactly the deterministic
+// fill-application order, with no per-cycle table scan.
+//
+// The heap uses lazy deletion: Free leaves the key in place and EarliestReady
+// discards keys whose block no longer has a live entry with that ready time.
+// ReadyCycle is immutable after allocation, so a live entry's heap key is
+// always exact and the heap minimum over non-stale keys is the true minimum.
 type MSHRFile struct {
 	cap     int
 	entries blockmap.Map[MSHR]
@@ -50,13 +54,32 @@ type MSHRFile struct {
 	// diagnostic (not architectural state, not checkpointed).
 	highWater int
 
-	// earliest caches the minimum ReadyCycle over all entries; eDirty marks
-	// it stale (set when the minimum is freed, recomputed lazily).
-	earliest uint64
-	eDirty   bool
+	// heap holds one (ReadyCycle, Block) key per live entry, plus any
+	// not-yet-discarded stale keys, ordered by (ready, block).
+	heap []mshrKey
+
+	// headKey/headOK memoize head()'s answer while headValid, so the
+	// per-cycle EarliestReady/Ready peeks cost a branch instead of a hash
+	// probe. Invalidated by anything that can change the minimum live key:
+	// pop, freeing the head's block, Reset, Restore. push keeps it valid by
+	// folding the new key in (a push can only lower the minimum).
+	headKey   mshrKey
+	headOK    bool
+	headValid bool
 
 	// scratch backs the slice returned by Ready, reused across calls.
 	scratch []MSHR
+}
+
+// mshrKey orders the ready heap: earliest ready first, block ID breaking
+// ties — the required deterministic fill order.
+type mshrKey struct {
+	ready uint64
+	block isa.BlockID
+}
+
+func (k mshrKey) less(o mshrKey) bool {
+	return k.ready < o.ready || (k.ready == o.ready && k.block < o.block)
 }
 
 // NewMSHRFile returns a file with the given capacity.
@@ -64,7 +87,69 @@ func NewMSHRFile(capacity int) *MSHRFile {
 	f := &MSHRFile{cap: capacity}
 	f.entries = *blockmap.New[MSHR](capacity + demandSlack)
 	f.scratch = make([]MSHR, 0, capacity+demandSlack)
+	f.heap = make([]mshrKey, 0, capacity+demandSlack)
 	return f
+}
+
+// push adds a key, restoring the heap order.
+func (f *MSHRFile) push(k mshrKey) {
+	if f.headValid && (!f.headOK || k.less(f.headKey)) {
+		f.headKey, f.headOK = k, true
+	}
+	f.heap = append(f.heap, k)
+	i := len(f.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !f.heap[i].less(f.heap[p]) {
+			break
+		}
+		f.heap[i], f.heap[p] = f.heap[p], f.heap[i]
+		i = p
+	}
+}
+
+// pop removes the minimum key, restoring the heap order.
+func (f *MSHRFile) pop() {
+	f.headValid = false
+	n := len(f.heap) - 1
+	f.heap[0] = f.heap[n]
+	f.heap = f.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && f.heap[l].less(f.heap[m]) {
+			m = l
+		}
+		if r < n && f.heap[r].less(f.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		f.heap[i], f.heap[m] = f.heap[m], f.heap[i]
+		i = m
+	}
+}
+
+// head discards stale keys and returns the minimum live one, with ok=false
+// on an empty (or all-stale) heap. A key is live while its block's entry
+// still has that exact ready time; Free never re-inserts keys, so each
+// stale key is discarded at most once.
+func (f *MSHRFile) head() (mshrKey, bool) {
+	if f.headValid {
+		return f.headKey, f.headOK
+	}
+	for len(f.heap) > 0 {
+		k := f.heap[0]
+		if m := f.entries.Ptr(k.block); m != nil && m.ReadyCycle == k.ready {
+			f.headKey, f.headOK, f.headValid = k, true, true
+			return k, true
+		}
+		f.pop()
+	}
+	f.headKey, f.headOK, f.headValid = mshrKey{}, false, true
+	return mshrKey{}, false
 }
 
 // Cap returns the capacity.
@@ -83,17 +168,12 @@ func (f *MSHRFile) Lookup(b isa.BlockID) (*MSHR, bool) {
 	return m, m != nil
 }
 
-// noteInsert folds a new entry's ready time into the cached minimum.
-func (f *MSHRFile) noteInsert(ready uint64) {
+// noteInsert registers a new entry's ready key.
+func (f *MSHRFile) noteInsert(b isa.BlockID, ready uint64) {
 	if f.entries.Len() > f.highWater {
 		f.highWater = f.entries.Len()
 	}
-	if f.eDirty {
-		return // recomputation will see the new entry
-	}
-	if f.entries.Len() == 1 || ready < f.earliest {
-		f.earliest = ready
-	}
+	f.push(mshrKey{ready: ready, block: b})
 }
 
 // Alloc registers a new in-flight miss. It returns nil if the file is full
@@ -107,7 +187,7 @@ func (f *MSHRFile) Alloc(b isa.BlockID, issue, ready uint64, prefetch bool) *MSH
 		return nil
 	}
 	m := f.entries.Put(b, MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready, Prefetch: prefetch})
-	f.noteInsert(ready)
+	f.noteInsert(b, ready)
 	return m
 }
 
@@ -119,7 +199,7 @@ func (f *MSHRFile) AllocDemand(b isa.BlockID, issue, ready uint64) *MSHR {
 		return nil
 	}
 	m := f.entries.Put(b, MSHR{Block: b, IssueCycle: issue, ReadyCycle: ready})
-	f.noteInsert(ready)
+	f.noteInsert(b, ready)
 	return m
 }
 
@@ -129,14 +209,11 @@ func (f *MSHRFile) HighWater() int { return f.highWater }
 // ResetHighWater restarts peak-occupancy tracking (window boundary).
 func (f *MSHRFile) ResetHighWater() { f.highWater = f.entries.Len() }
 
-// Free releases the entry for b (at fill time).
+// Free releases the entry for b (at fill time). The heap key, if still
+// present, goes stale and is discarded on a later head scan.
 func (f *MSHRFile) Free(b isa.BlockID) {
-	m := f.entries.Ptr(b)
-	if m == nil {
-		return
-	}
-	if !f.eDirty && m.ReadyCycle == f.earliest {
-		f.eDirty = true
+	if f.headValid && f.headOK && f.headKey.block == b {
+		f.headValid = false
 	}
 	f.entries.Delete(b)
 }
@@ -148,49 +225,51 @@ func (f *MSHRFile) EarliestReady() (uint64, bool) {
 	if f.entries.Len() == 0 {
 		return 0, false
 	}
-	if f.eDirty {
-		first := true
-		f.entries.Range(func(_ isa.BlockID, m MSHR) {
-			if first || m.ReadyCycle < f.earliest {
-				f.earliest = m.ReadyCycle
-				first = false
-			}
-		})
-		f.eDirty = false
-	}
-	return f.earliest, true
+	k, ok := f.head()
+	return k.ready, ok
 }
 
 // Ready returns all entries whose fill has arrived by the given cycle, in
 // arrival order (ties broken by block ID). The order must not depend on
 // table iteration: fill processing mutates design state, so an arbitrary
 // order makes otherwise identical runs diverge. The returned entries are
-// copies backed by a buffer reused on the next Ready call; callers free the
-// originals by block after applying each fill.
+// copies backed by a buffer reused on the next Ready call; callers MUST free
+// each original by block after applying its fill — the due keys pop off the
+// heap here, so an entry left in the table would drop out of EarliestReady.
+// (A freed-then-reallocated block gets a fresh key; identical duplicate keys
+// pop adjacently and collapse to one entry.)
 func (f *MSHRFile) Ready(cycle uint64) []MSHR {
-	if e, ok := f.EarliestReady(); !ok || e > cycle {
+	k, ok := f.head()
+	if !ok || k.ready > cycle {
 		return nil
 	}
 	out := f.scratch[:0]
+	last := mshrKey{ready: ^uint64(0)}
+	for {
+		f.pop()
+		if k != last {
+			out = append(out, *f.entries.Ptr(k.block))
+			last = k
+		}
+		if k, ok = f.head(); !ok || k.ready > cycle {
+			break
+		}
+	}
+	f.scratch = out
+	return out
+}
+
+// All returns every in-flight entry in (ReadyCycle, Block) order without
+// disturbing the heap — the audit-path counterpart of Ready.
+func (f *MSHRFile) All() []MSHR {
+	out := f.scratch[:0]
 	f.entries.Range(func(_ isa.BlockID, m MSHR) {
-		if m.ReadyCycle <= cycle {
-			out = append(out, m)
-		}
+		out = append(out, m)
 	})
-	slices.SortFunc(out, func(a, b MSHR) int {
-		if a.ReadyCycle != b.ReadyCycle {
-			if a.ReadyCycle < b.ReadyCycle {
-				return -1
-			}
-			return 1
-		}
-		if a.Block < b.Block {
-			return -1
-		}
-		if a.Block > b.Block {
-			return 1
-		}
-		return 0
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		return a.ReadyCycle < b.ReadyCycle ||
+			(a.ReadyCycle == b.ReadyCycle && a.Block < b.Block)
 	})
 	f.scratch = out
 	return out
@@ -199,7 +278,8 @@ func (f *MSHRFile) Ready(cycle uint64) []MSHR {
 // Reset drops all in-flight entries.
 func (f *MSHRFile) Reset() {
 	f.entries.Clear()
-	f.eDirty = false
+	f.heap = f.heap[:0]
+	f.headValid = false
 }
 
 // Snapshot serialises the file's capacity and every in-flight entry, in
@@ -237,7 +317,8 @@ func (f *MSHRFile) Restore(d *checkpoint.Decoder) error {
 	}
 	n := d.Count(8*3 + 3)
 	f.entries.Clear()
-	f.eDirty = false
+	f.heap = f.heap[:0]
+	f.headValid = false
 	for i := 0; i < n; i++ {
 		m := MSHR{
 			Block:      isa.BlockID(d.U64()),
@@ -255,7 +336,7 @@ func (f *MSHRFile) Restore(d *checkpoint.Decoder) error {
 				checkpoint.ErrCorrupt, uint64(m.Block))
 		}
 		f.entries.Put(m.Block, m)
-		f.noteInsert(m.ReadyCycle)
+		f.noteInsert(m.Block, m.ReadyCycle)
 	}
 	return d.End()
 }
@@ -270,7 +351,7 @@ func (f *MSHRFile) Restore(d *checkpoint.Decoder) error {
 //     (AllocDemand deliberately bypasses the capacity check, at most one
 //     outstanding demand per fetch engine, so a generous fixed slack bounds
 //     it without false positives);
-//   - the cached earliest-ready time matches the actual minimum (the
+//   - the ready heap's earliest-ready time matches the actual minimum (the
 //     fast-forward wakeup must never be later than a real fill).
 //
 // Each violation is returned as its own error.
@@ -282,7 +363,7 @@ func (f *MSHRFile) Audit(cycle uint64) []error {
 	}
 	var min uint64
 	haveMin := false
-	for _, m := range f.Ready(^uint64(0)) { // all entries, deterministic order
+	for _, m := range f.All() {
 		if m.ReadyCycle < m.IssueCycle {
 			errs = append(errs, fmt.Errorf("mshr: block %#x ready at %d before its issue at %d",
 				uint64(m.Block), m.ReadyCycle, m.IssueCycle))
@@ -296,7 +377,7 @@ func (f *MSHRFile) Audit(cycle uint64) []error {
 		}
 	}
 	if got, ok := f.EarliestReady(); ok != haveMin || (ok && got != min) {
-		errs = append(errs, fmt.Errorf("mshr: cached earliest ready (%d, %v) disagrees with scan (%d, %v)",
+		errs = append(errs, fmt.Errorf("mshr: heap earliest ready (%d, %v) disagrees with scan (%d, %v)",
 			got, ok, min, haveMin))
 	}
 	return errs

@@ -39,8 +39,9 @@ type Walker struct {
 	seed  int64
 	src   *countingSource
 	rng   *rand.Rand
-	cur   int32 // current block index
-	idx   int   // next instruction within the block
+	cur   int32      // current block index
+	idx   int        // next instruction within the block
+	insts []isa.Inst // Blocks[cur].Insts, cached to cut a pointer chase per step
 	stack []int32
 
 	dataHotBase  isa.Addr
@@ -93,14 +94,15 @@ func (w *Walker) dispatch() {
 	}
 	w.cur = p.Funcs[fi].First
 	w.idx = 0
+	w.insts = p.Blocks[w.cur].Insts
 }
 
 // Next advances one committed instruction, filling *s.
 func (w *Walker) Next(s *Step) {
 	p := w.prog
+	inst := w.insts[w.idx]
+	isTerm := w.idx == len(w.insts)-1
 	blk := &p.Blocks[w.cur]
-	inst := blk.Insts[w.idx]
-	isTerm := w.idx == len(blk.Insts)-1
 
 	*s = Step{Inst: inst}
 	if inst.Kind == isa.KindLoad || inst.Kind == isa.KindStore {
@@ -187,10 +189,11 @@ func (w *Walker) moveTo(bb int32) {
 	}
 	w.cur = bb
 	w.idx = 0
+	w.insts = w.prog.Blocks[bb].Insts
 }
 
 // pc returns the address of the next instruction to execute.
-func (w *Walker) pc() isa.Addr { return w.prog.Blocks[w.cur].Insts[w.idx].PC }
+func (w *Walker) pc() isa.Addr { return w.insts[w.idx].PC }
 
 // dataAddr synthesises a load/store effective address with a hot/cold skew.
 func (w *Walker) dataAddr() isa.Addr {
@@ -256,5 +259,6 @@ func (w *Walker) Restore(d *checkpoint.Decoder) error {
 	}
 	w.src.draws = draws
 	w.cur, w.idx, w.stack = cur, idx, stack
+	w.insts = w.prog.Blocks[cur].Insts
 	return nil
 }

@@ -27,8 +27,9 @@ func (c *Core) Snapshot(e *checkpoint.Encoder) {
 
 	e.Bool(c.pfb != nil)
 	if c.pfb != nil {
-		e.Int(len(c.pfbOrder))
-		for _, b := range c.pfbOrder {
+		live := c.pfbLive()
+		e.Int(len(live))
+		for _, b := range live {
 			lat, _ := c.pfb.Get(b)
 			e.U64(uint64(b))
 			e.U64(lat)
@@ -112,6 +113,7 @@ func (c *Core) Restore(d *checkpoint.Decoder) error {
 		}
 		c.pfb.Clear()
 		c.pfbOrder = c.pfbOrder[:0]
+		c.pfbHead = 0
 		for i := 0; i < n; i++ {
 			b := isa.BlockID(d.U64())
 			c.pfb.Put(b, d.U64())
@@ -269,15 +271,15 @@ func (c *Core) Audit() []error {
 	}
 
 	if c.pfb != nil {
-		if c.pfb.Len() != len(c.pfbOrder) {
+		if c.pfb.Len() != len(c.pfbLive()) {
 			errs = append(errs, fmt.Errorf("core %d: prefetch buffer map holds %d blocks but FIFO order lists %d",
-				c.cf.Tile, c.pfb.Len(), len(c.pfbOrder)))
+				c.cf.Tile, c.pfb.Len(), len(c.pfbLive())))
 		}
-		if len(c.pfbOrder) > c.cf.PrefetchBufferEntries {
+		if len(c.pfbLive()) > c.cf.PrefetchBufferEntries {
 			errs = append(errs, fmt.Errorf("core %d: prefetch buffer holds %d blocks over capacity %d",
-				c.cf.Tile, len(c.pfbOrder), c.cf.PrefetchBufferEntries))
+				c.cf.Tile, len(c.pfbLive()), c.cf.PrefetchBufferEntries))
 		}
-		for _, b := range c.pfbOrder {
+		for _, b := range c.pfbLive() {
 			if !c.pfb.Contains(b) {
 				errs = append(errs, fmt.Errorf("core %d: prefetch buffer FIFO lists block %#x missing from the map",
 					c.cf.Tile, uint64(b)))
@@ -304,7 +306,7 @@ func (c *Core) Audit() []error {
 	}
 
 	errs = append(errs, c.mshr.Audit(c.cycle)...)
-	for _, m := range c.mshr.Ready(^uint64(0)) {
+	for _, m := range c.mshr.All() {
 		if c.l1i.Contains(m.Block) {
 			errs = append(errs, fmt.Errorf("core %d: block %#x both resident in L1i and in flight in an MSHR",
 				c.cf.Tile, uint64(m.Block)))

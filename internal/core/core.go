@@ -108,11 +108,14 @@ type Core struct {
 	l1d    *cache.Cache
 	mshr   *cache.MSHRFile
 
-	// Prefetch buffer (optional): block -> fill latency, with pfbOrder
-	// tracking FIFO age (both preallocated to capacity; evictions shift in
-	// place so the hot path never allocates).
+	// Prefetch buffer (optional): block -> fill latency, with
+	// pfbOrder[pfbHead:] tracking FIFO age oldest-first. Eviction advances
+	// the head; the slice compacts in place once the dead prefix reaches
+	// capacity, so inserts are amortized O(1) and never allocate after the
+	// one-time 2x-capacity reservation.
 	pfb      *blockmap.Map[uint64]
 	pfbOrder []isa.BlockID
+	pfbHead  int
 
 	// prefLat remembers the fill latency of prefetched L1i lines (CMAL).
 	prefLat blockmap.Map[uint64]
@@ -165,6 +168,17 @@ type Core struct {
 	trCause obs.StallCause
 	trStart uint64
 
+	// uncoreGate, when set, is a rendezvous the parallel engine installs: it
+	// is invoked once per full Tick, immediately before the core's first
+	// shared-fabric touch of that tick (Uncore.Access, LLC.LoadBF/StoreBF),
+	// and blocks until every lower-tile core has finished this cycle and
+	// every higher-tile core has finished the previous one — reproducing the
+	// serial tile-order interleaving exactly. Ticks that never touch the
+	// uncore never pay the rendezvous. gatedThisTick collapses repeated
+	// touches within one tick into one rendezvous.
+	uncoreGate    func(tile int, cycle uint64)
+	gatedThisTick bool
+
 	// totalRetired counts retirements monotonically across metric resets
 	// (the watchdog's progress counter; see Progress).
 	totalRetired uint64
@@ -198,7 +212,7 @@ func New(cf Config, stream wl.Stream, image *isa.Image, design prefetch.Design, 
 	c.prefLat = *blockmap.New[uint64](cf.L1ISizeBytes / isa.BlockBytes)
 	if cf.PrefetchBufferEntries > 0 {
 		c.pfb = blockmap.New[uint64](cf.PrefetchBufferEntries)
-		c.pfbOrder = make([]isa.BlockID, 0, cf.PrefetchBufferEntries)
+		c.pfbOrder = make([]isa.BlockID, 0, 2*cf.PrefetchBufferEntries)
 	}
 	if image.Mode == isa.Variable {
 		c.bfCache = blockmap.New[isa.BF](1024)
@@ -277,6 +291,7 @@ func (c *Core) IssuePrefetch(b isa.BlockID, buffered bool) bool {
 		// request still costs bandwidth.
 		return false
 	}
+	c.enterUncore()
 	ready, _ := c.uncore.Access(c.cf.Tile, b, c.cycle, true)
 	c.M.ExtRequests++
 	c.M.LLCLatencySum += ready - c.cycle
@@ -301,6 +316,7 @@ func (c *Core) Predecode(b isa.BlockID) []isa.Branch {
 	// footprint fetched with the block (or read from the DV-LLC).
 	bf, ok := c.bfCache.Get(b)
 	if !ok {
+		c.enterUncore()
 		bf, ok = c.uncore.LLC.LoadBF(b)
 		if !ok {
 			return nil
@@ -341,6 +357,7 @@ func (c *Core) Tick() {
 		return
 	}
 
+	c.gatedThisTick = false
 	c.processFills()
 	c.retire()
 
@@ -471,6 +488,24 @@ func (c *Core) SetFastForward(on bool) {
 	}
 }
 
+// SetUncoreGate installs (or removes, with nil) the parallel engine's
+// shared-fabric rendezvous. See the uncoreGate field for the contract. The
+// gate must be installed only while the machine is quiescent (between
+// windows or before the first Tick).
+func (c *Core) SetUncoreGate(gate func(tile int, cycle uint64)) {
+	c.uncoreGate = gate
+}
+
+// enterUncore is called before every shared-fabric touch inside Tick. Serial
+// engines pay one nil test; under the parallel engine the first touch of a
+// tick blocks until the tile-order rendezvous admits this core.
+func (c *Core) enterUncore() {
+	if c.uncoreGate != nil && !c.gatedThisTick {
+		c.gatedThisTick = true
+		c.uncoreGate(c.cf.Tile, c.cycle)
+	}
+}
+
 // processFills applies completed misses. Ready returns entry copies (the
 // table slots may be reused by prefetches the design issues from OnFill),
 // so each original is freed before its fill is applied.
@@ -503,6 +538,7 @@ func (c *Core) processFills() {
 			}
 		}
 		if c.bfCache != nil {
+			c.enterUncore()
 			if bf, ok := c.uncore.LLC.LoadBF(m.Block); ok {
 				c.bfCache.Put(m.Block, bf)
 			}
@@ -514,17 +550,25 @@ func (c *Core) processFills() {
 	}
 }
 
+// pfbLive returns the buffer's FIFO order, oldest first.
+func (c *Core) pfbLive() []isa.BlockID { return c.pfbOrder[c.pfbHead:] }
+
 // pfbInsert adds a block to the FIFO prefetch buffer.
 func (c *Core) pfbInsert(b isa.BlockID, lat uint64) {
 	if c.pfb.Contains(b) {
 		return
 	}
-	if len(c.pfbOrder) >= c.cf.PrefetchBufferEntries {
-		old := c.pfbOrder[0]
-		copy(c.pfbOrder, c.pfbOrder[1:])
-		c.pfbOrder = c.pfbOrder[:len(c.pfbOrder)-1]
+	if len(c.pfbOrder)-c.pfbHead >= c.cf.PrefetchBufferEntries {
+		old := c.pfbOrder[c.pfbHead]
+		c.pfbHead++
 		c.pfb.Delete(old)
 		c.M.UselessEvicts++
+	}
+	if c.pfbHead >= c.cf.PrefetchBufferEntries {
+		// Compact the dead prefix so the backing array stays at 2x capacity.
+		n := copy(c.pfbOrder, c.pfbOrder[c.pfbHead:])
+		c.pfbOrder = c.pfbOrder[:n]
+		c.pfbHead = 0
 	}
 	c.pfb.Put(b, lat)
 	c.pfbOrder = append(c.pfbOrder, b)
@@ -538,9 +582,11 @@ func (c *Core) pfbTake(b isa.BlockID) (uint64, bool) {
 		return 0, false
 	}
 	c.pfb.Delete(b)
-	for i, x := range c.pfbOrder {
+	live := c.pfbLive()
+	for i, x := range live {
 		if x == b {
-			c.pfbOrder = append(c.pfbOrder[:i], c.pfbOrder[i+1:]...)
+			copy(live[i:], live[i+1:])
+			c.pfbOrder = c.pfbOrder[:len(c.pfbOrder)-1]
 			break
 		}
 	}
@@ -572,6 +618,7 @@ func (c *Core) recordBF(inst isa.Inst) {
 	bf, _ := c.bfCache.Get(b)
 	bf.Add(uint8(isa.ByteOffset(inst.PC)))
 	c.bfCache.Put(b, bf)
+	c.enterUncore()
 	c.uncore.LLC.StoreBF(b, bf)
 }
 
@@ -717,6 +764,7 @@ func (c *Core) demandAccess(b isa.BlockID) bool {
 			c.M.UsefulPrefetches++
 		}
 	} else {
+		c.enterUncore()
 		ready, _ := c.uncore.Access(c.cf.Tile, b, c.cycle, true)
 		c.M.ExtRequests++
 		c.M.LLCLatencySum += ready - c.cycle
@@ -758,6 +806,7 @@ func (c *Core) execLatency(s *wl.Step) uint64 {
 			return c.cf.L1DLatency
 		}
 		c.M.L1DMisses++
+		c.enterUncore()
 		ready, _ := c.uncore.Access(c.cf.Tile, db, c.cycle, false)
 		c.l1d.Insert(db)
 		return c.cf.L1DLatency + (ready - c.cycle)
@@ -903,6 +952,7 @@ func (c *Core) wrongPath(pc isa.Addr) {
 		if c.mshr.Full() {
 			return
 		}
+		c.enterUncore()
 		ready, _ := c.uncore.Access(c.cf.Tile, b, c.cycle, true)
 		c.M.ExtRequests++
 		c.mshr.AllocDemand(b, c.cycle, ready)

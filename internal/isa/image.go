@@ -9,11 +9,66 @@ type Image struct {
 	Mode Mode
 	Base Addr
 	Code []byte
+
+	// Pre-decoded branch index (Fixed mode only): the branches of the
+	// image's i-th block occupy pdBranches[pdStart[i]:pdStart[i+1]], in
+	// offset order. Every core's pre-decoder consults this one immutable
+	// table instead of re-decoding the block's 16 slots on each probe —
+	// the single hottest path of the proactive designs — and immutability
+	// makes the lookup safe from concurrently ticking cores. Built once by
+	// NewImage; PredecodeBlock falls back to decoding for images assembled
+	// without it.
+	pdStart    []int32
+	pdBranches []Branch
 }
 
 // NewImage returns an image covering [base, base+len(code)).
 func NewImage(mode Mode, base Addr, code []byte) *Image {
-	return &Image{Mode: mode, Base: base, Code: code}
+	im := &Image{Mode: mode, Base: base, Code: code}
+	im.buildPredecodeIndex()
+	return im
+}
+
+// buildPredecodeIndex pre-decodes every block of a Fixed-mode image into the
+// shared branch index. The work is one decode pass over the image, paid once
+// at construction (programs are generated once and cached).
+func (im *Image) buildPredecodeIndex() {
+	if im.Mode != Fixed || len(im.Code) == 0 {
+		return
+	}
+	first := BlockOf(im.Base)
+	last := BlockOf(im.End() - 1)
+	n := int(last - first + 1)
+	im.pdStart = make([]int32, n+1)
+	for bi := 0; bi < n; bi++ {
+		im.pdStart[bi] = int32(len(im.pdBranches))
+		base := BlockBase(first + BlockID(bi))
+		for off := 0; off < BlockBytes; off += FixedSize {
+			inst, ok := im.DecodeAt(base + Addr(off))
+			if !ok || !inst.Kind.IsBranch() {
+				continue
+			}
+			im.pdBranches = append(im.pdBranches,
+				Branch{Offset: uint8(off), Kind: inst.Kind, Target: inst.Target})
+		}
+	}
+	im.pdStart[n] = int32(len(im.pdBranches))
+}
+
+// predecoded returns the indexed branches of block b, with ok=false when the
+// image carries no index. The slice aliases the shared table (capped, so an
+// append cannot reach neighbouring blocks); callers must treat it as
+// read-only.
+func (im *Image) predecoded(b BlockID) ([]Branch, bool) {
+	if im.pdStart == nil {
+		return nil, false
+	}
+	bi := int(b - BlockOf(im.Base))
+	s, e := im.pdStart[bi], im.pdStart[bi+1]
+	if s == e {
+		return nil, true
+	}
+	return im.pdBranches[s:e:e], true
 }
 
 // End returns the first address past the image.

@@ -19,6 +19,9 @@ func PredecodeBlock(im *Image, b BlockID) []Branch {
 	if im.Mode != Fixed || !im.ContainsBlock(b) {
 		return nil
 	}
+	if brs, ok := im.predecoded(b); ok {
+		return brs
+	}
 	var out []Branch
 	base := BlockBase(b)
 	for off := 0; off < BlockBytes; off += FixedSize {
@@ -37,7 +40,26 @@ func PredecodeBlock(im *Image, b BlockID) []Branch {
 // of the Dis prefetcher: the stored offset may be stale (the table is
 // partially tagged), in which case the decoded bytes are simply not a branch
 // and the prefetcher does nothing.
+//
+// When the image carries the pre-decoded branch index and the offset is
+// slot-aligned, the probe is served from the index: the branches of an
+// indexed block are exactly its aligned offsets that decode to branches, so
+// an index miss and a raw-bytes non-branch decode are the same answer.
+// Misaligned offsets (possible only for indexless or Variable images, where
+// the fallback runs anyway) keep the byte-decoding path.
 func DecodeBranchAt(im *Image, b BlockID, offset uint8) (Branch, bool) {
+	if im.pdStart != nil && offset%FixedSize == 0 {
+		bi := int(b - BlockOf(im.Base))
+		if bi < 0 || bi+1 >= len(im.pdStart) {
+			return Branch{}, false // outside the image: raw decode finds no bytes
+		}
+		for _, br := range im.pdBranches[im.pdStart[bi]:im.pdStart[bi+1]] {
+			if br.Offset == offset {
+				return br, true
+			}
+		}
+		return Branch{}, false
+	}
 	pc := BlockBase(b) + Addr(offset)
 	inst, ok := im.DecodeAt(pc)
 	if !ok || !inst.Kind.IsBranch() {

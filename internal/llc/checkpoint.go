@@ -70,6 +70,7 @@ func (c *LLC) Restore(d *checkpoint.Decoder) error {
 			l.valid = d.Bool()
 			l.lru = d.U64()
 			l.isInst = d.Bool()
+			c.setTag(i, j, *l)
 		}
 		s.bfWay = d.Int()
 		if d.Err() == nil && (s.bfWay < -1 || s.bfWay >= ways) {
@@ -90,6 +91,8 @@ func (c *LLC) Restore(d *checkpoint.Decoder) error {
 
 // Audit checks the DV-LLC structural invariants:
 //
+//   - the packed tag mirror agrees with every line's block/valid pair (the
+//     fast way scan must never see different residency than the records);
 //   - a pinned BF-holder way index is within the set's ways;
 //   - a set never stores more footprints than BFsPerSet or Ways-1 (the
 //     holder way cannot hold a footprint for itself);
@@ -104,6 +107,16 @@ func (c *LLC) Audit() []error {
 	var errs []error
 	for i := range c.sets {
 		s := &c.sets[i]
+		for j := range s.lines {
+			want := uint64(0)
+			if s.lines[j].valid {
+				want = tagKey(s.lines[j].block)
+			}
+			if got := c.tags[i*c.cfg.Ways+j]; got != want {
+				errs = append(errs, fmt.Errorf("llc: set %d way %d tag mirror %#x disagrees with line (%#x)",
+					i, j, got, want))
+			}
+		}
 		if s.bfWay >= len(s.lines) || s.bfWay < -1 {
 			errs = append(errs, fmt.Errorf("llc: set %d BF-holder way %d out of range [0,%d)",
 				i, s.bfWay, len(s.lines)))

@@ -82,11 +82,19 @@ type bankWindow struct {
 }
 
 // LLC is the shared last-level cache. Not safe for concurrent use.
+//
+// Residency tags are mirrored in a packed side array (one word per way, a
+// shifted block ID with an always-set valid bit; 0 marks an empty way), so
+// the per-access way scan reads w contiguous words instead of striding
+// across 32-byte line records. The mirror is derived state: every write to a
+// line's block/valid pair maintains it, and Restore rebuilds it.
 type LLC struct {
 	cfg      Config
 	banks    int
 	setsPer  int // sets per bank
 	sets     []set
+	tags     []uint64 // tagKey per (set, way); 0 = invalid
+	hints    []uint8  // last way find hit per set — a guess, verified on use
 	bankOcc  []bankWindow
 	clock    uint64
 	stats    Stats
@@ -124,6 +132,8 @@ func New(cfg Config) *LLC {
 		banks:   cfg.Banks,
 		setsPer: setsPer,
 		sets:    make([]set, totalSets),
+		tags:    make([]uint64, totalSets*cfg.Ways),
+		hints:   make([]uint8, totalSets),
 		bankOcc: make([]bankWindow, cfg.Banks),
 	}
 	for i := range c.sets {
@@ -170,12 +180,47 @@ func (c *LLC) ResetStats() { c.stats = Stats{} }
 // BankOf returns the bank (home tile) of a block.
 func (c *LLC) BankOf(b isa.BlockID) int { return int(uint64(b) % uint64(c.banks)) }
 
-func (c *LLC) setOf(b isa.BlockID) *set {
+func (c *LLC) setOf(b isa.BlockID) int {
 	bank := c.BankOf(b)
 	idx := int(uint64(b)/uint64(c.banks)) & (c.setsPer - 1)
-	return &c.sets[bank*c.setsPer+idx]
+	return bank*c.setsPer + idx
 }
 
+// tagKey packs a block and an always-set valid bit into one comparable word.
+func tagKey(b isa.BlockID) uint64 { return uint64(b)<<1 | 1 }
+
+// find locates block b in set si via the packed tag mirror. The per-set MRU
+// hint short-circuits the way scan for re-probes of a recently found block
+// (loops hammer the same instruction blocks); the hint is only ever a guess,
+// verified against the tag mirror, so a stale one costs a scan but can never
+// misidentify a line.
+func (c *LLC) find(si int, b isa.BlockID) *line {
+	base := si * c.cfg.Ways
+	key := tagKey(b)
+	if h := int(c.hints[si]); h < c.cfg.Ways && c.tags[base+h] == key {
+		return &c.sets[si].lines[h]
+	}
+	for i, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == key {
+			c.hints[si] = uint8(i)
+			return &c.sets[si].lines[i]
+		}
+	}
+	return nil
+}
+
+// setTag maintains the tag mirror for a write to way w of set si; called by
+// everything that flips a line's block/valid pair.
+func (c *LLC) setTag(si, w int, l line) {
+	if l.valid {
+		c.tags[si*c.cfg.Ways+w] = tagKey(l.block)
+	} else {
+		c.tags[si*c.cfg.Ways+w] = 0
+	}
+}
+
+// find is the mirror-free reference scan, kept for Audit to cross-check the
+// packed tags against the authoritative line records.
 func (s *set) find(b isa.BlockID) *line {
 	for i := range s.lines {
 		if s.lines[i].valid && s.lines[i].block == b {
@@ -186,7 +231,7 @@ func (s *set) find(b isa.BlockID) *line {
 }
 
 // Contains reports residency without updating recency.
-func (c *LLC) Contains(b isa.BlockID) bool { return c.setOf(b).find(b) != nil }
+func (c *LLC) Contains(b isa.BlockID) bool { return c.find(c.setOf(b), b) != nil }
 
 // Access performs a demand lookup, updating recency and hit statistics.
 func (c *LLC) Access(b isa.BlockID, isInst bool) bool {
@@ -195,7 +240,7 @@ func (c *LLC) Access(b isa.BlockID, isInst bool) bool {
 	} else {
 		c.stats.DataAccesses++
 	}
-	l := c.setOf(b).find(b)
+	l := c.find(c.setOf(b), b)
 	if l == nil {
 		return false
 	}
@@ -212,15 +257,16 @@ func (c *LLC) Access(b isa.BlockID, isInst bool) bool {
 // Insert fills block b. In DV mode, the first instruction block entering a
 // set converts the set's LRU way into a BF-holder.
 func (c *LLC) Insert(b isa.BlockID, isInst bool) {
-	s := c.setOf(b)
-	if l := s.find(b); l != nil {
+	si := c.setOf(b)
+	s := &c.sets[si]
+	if l := c.find(si, b); l != nil {
 		c.clock++
 		l.lru = c.clock
 		l.isInst = l.isInst || isInst
 		return
 	}
 	if c.cfg.DVEnabled && isInst && s.bfWay < 0 {
-		c.transitionToBFHolder(s)
+		c.transitionToBFHolder(si)
 	}
 	w := c.victimWay(s)
 	if s.lines[w].valid {
@@ -228,12 +274,14 @@ func (c *LLC) Insert(b isa.BlockID, isInst bool) {
 		evictedInst := s.lines[w].isInst
 		s.dropBF(s.lines[w].block)
 		s.lines[w] = line{}
+		c.setTag(si, w, s.lines[w])
 		if evictedInst {
 			c.maybeReleaseBFHolder(s)
 		}
 	}
 	c.clock++
 	s.lines[w] = line{block: b, valid: true, lru: c.clock, isInst: isInst}
+	c.setTag(si, w, s.lines[w])
 }
 
 // victimWay picks the LRU way, skipping the pinned BF-holder.
@@ -255,12 +303,14 @@ func (c *LLC) victimWay(s *set) int {
 
 // transitionToBFHolder evicts the current LRU way (if utilized) and pins it
 // as the set's BF-holder.
-func (c *LLC) transitionToBFHolder(s *set) {
+func (c *LLC) transitionToBFHolder(si int) {
+	s := &c.sets[si]
 	w := c.victimWay(s)
 	if s.lines[w].valid {
 		c.stats.Evictions++
 		s.dropBF(s.lines[w].block)
 		s.lines[w] = line{}
+		c.setTag(si, w, s.lines[w])
 	}
 	s.bfWay = w
 	c.stats.BFTransitions++
@@ -297,8 +347,9 @@ func (s *set) dropBF(b isa.BlockID) {
 // footprints of Figure 9.
 func (c *LLC) StoreBF(b isa.BlockID, bf isa.BF) bool {
 	c.stats.BFStores++
-	s := c.setOf(b)
-	if !c.cfg.DVEnabled || s.bfWay < 0 || s.find(b) == nil {
+	si := c.setOf(b)
+	s := &c.sets[si]
+	if !c.cfg.DVEnabled || s.bfWay < 0 || c.find(si, b) == nil {
 		c.stats.BFStoreFails++
 		return false
 	}
@@ -320,7 +371,7 @@ func (c *LLC) StoreBF(b isa.BlockID, bf isa.BF) bool {
 // block's data response on an L1i fill from the LLC.
 func (c *LLC) LoadBF(b isa.BlockID) (isa.BF, bool) {
 	c.stats.BFLoads++
-	s := c.setOf(b)
+	s := &c.sets[c.setOf(b)]
 	for i := range s.bfs {
 		if s.bfs[i].block == b {
 			c.stats.BFLoadHits++

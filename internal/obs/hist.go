@@ -100,6 +100,39 @@ func (h *Histogram) Count() uint64 {
 	return h.n
 }
 
+// Merge folds other's observations into h, exactly as if every one of them
+// had been Observed on h directly: counts, totals, and extrema all commute,
+// so per-shard histograms fold into bit-identical snapshots regardless of
+// how observations were partitioned across shards. The two histograms must
+// share a bound set (merging across different bucketings is a bug, not a
+// best-effort).
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil || other.n == 0 {
+		return
+	}
+	if len(other.bounds) != len(h.bounds) {
+		panic(fmt.Sprintf("obs: merging histogram %s (%d bounds) into %s (%d bounds)",
+			other.name, len(other.bounds), h.name, len(h.bounds)))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			panic(fmt.Sprintf("obs: merging histogram %s into %s with mismatched bound %d",
+				other.name, h.name, i))
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
 // Reset zeroes the histogram (window boundary).
 func (h *Histogram) Reset() {
 	if h == nil {

@@ -161,8 +161,9 @@ func (r *RLU) restore(d *checkpoint.Decoder) error {
 func (q *boundedQueue) snapshot(e *checkpoint.Encoder) {
 	e.Int(q.cap)
 	e.U64(q.Drops)
-	e.Int(len(q.items))
-	for _, it := range q.items {
+	e.Int(q.len())
+	for i := 0; i < q.len(); i++ {
+		it := q.at(i)
 		e.U64(uint64(it.block))
 		e.Int(it.depth)
 		e.Bool(it.fromDis)
@@ -180,9 +181,9 @@ func (q *boundedQueue) restore(d *checkpoint.Decoder) error {
 		return fmt.Errorf("%w: queue holds %d items over capacity %d",
 			checkpoint.ErrCorrupt, n, q.cap)
 	}
-	q.items = q.items[:0]
+	q.reset()
 	for i := 0; i < n; i++ {
-		q.items = append(q.items, qItem{
+		q.push(qItem{
 			block:   isa.BlockID(d.U64()),
 			depth:   d.Int(),
 			fromDis: d.Bool(),
@@ -460,9 +461,9 @@ func (p *Proactive) Audit() []error {
 		name string
 		q    *boundedQueue
 	}{{"SeqQueue", p.seqQ}, {"DisQueue", p.disQ}, {"RLUQueue", p.rluQ}} {
-		if len(q.q.items) > q.q.cap {
+		if q.q.len() > q.q.cap {
 			errs = append(errs, fmt.Errorf("proactive: %s holds %d items over capacity %d",
-				q.name, len(q.q.items), q.q.cap))
+				q.name, q.q.len(), q.q.cap))
 		}
 	}
 	if len(p.pendingDecode) > 64 {

@@ -51,37 +51,47 @@ type qItem struct {
 	fromDis bool
 }
 
-// boundedQueue is a fixed-capacity FIFO; pushes beyond capacity are dropped.
+// boundedQueue is a fixed-capacity FIFO ring; pushes beyond capacity are
+// dropped. The ring makes pop O(1) — these queues drain on every design tick,
+// so a shift-down FIFO would memmove on the hottest prefetch path.
 type boundedQueue struct {
-	items []qItem
-	cap   int
+	ring []qItem
+	head int
+	n    int
+	cap  int
 	// Drops counts items lost to overflow.
 	Drops uint64
 }
 
 func newBoundedQueue(capacity int) *boundedQueue {
-	return &boundedQueue{cap: capacity, items: make([]qItem, 0, capacity)}
+	return &boundedQueue{cap: capacity, ring: make([]qItem, capacity)}
 }
 
+func (q *boundedQueue) len() int { return q.n }
+
+// at returns the i-th queued item in FIFO order (checkpoint traversal).
+func (q *boundedQueue) at(i int) qItem { return q.ring[(q.head+i)%len(q.ring)] }
+
 func (q *boundedQueue) push(it qItem) {
-	if len(q.items) >= q.cap {
+	if q.n >= q.cap {
 		q.Drops++
 		return
 	}
-	q.items = append(q.items, it)
+	q.ring[(q.head+q.n)%len(q.ring)] = it
+	q.n++
 }
 
 func (q *boundedQueue) pop() (qItem, bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return qItem{}, false
 	}
-	it := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
+	it := q.ring[q.head]
+	q.head = (q.head + 1) % len(q.ring)
+	q.n--
 	return it, true
 }
 
-func (q *boundedQueue) reset() { q.items = q.items[:0] }
+func (q *boundedQueue) reset() { q.head, q.n = 0, 0 }
 
 // ProactiveConfig sizes the combined SN4L+Dis(+BTB) design.
 type ProactiveConfig struct {
@@ -197,7 +207,7 @@ func (p *Proactive) Bind(env Env) {
 // QueueOccupancy implements OccupancyReporter: total entries across the
 // Seq, Dis, and RLU queues.
 func (p *Proactive) QueueOccupancy() int {
-	return len(p.seqQ.items) + len(p.disQ.items) + len(p.rluQ.items)
+	return p.seqQ.len() + p.disQ.len() + p.rluQ.len()
 }
 
 // Name implements Design.

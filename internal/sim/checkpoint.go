@@ -196,8 +196,11 @@ func (m *machine) restoreFrom(path string) error {
 	if err := d.End(); err != nil {
 		return fmt.Errorf("sim: snapshot %s: %w", path, err)
 	}
-	// Resume the checkpoint cadence from the restore point.
+	// Resume the checkpoint cadence from the restore point, and rebuild the
+	// derived wake state (restored cores are all awake until their first
+	// full Tick recomputes idleWake).
 	m.lastCkpt = m.watch.cycle
+	m.resetEngine()
 	return nil
 }
 

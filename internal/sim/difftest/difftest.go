@@ -391,6 +391,11 @@ type Options struct {
 	// DisableFastForward passes through to the simulator: the reference
 	// configuration for the metamorphic fast-forward equivalence tests.
 	DisableFastForward bool
+	// Sched and IntraJobs pass through to the simulator, so the engine
+	// equivalence tests can run the oracle lockstep under every engine
+	// (tick reference, event-driven wheel, sharded wheel).
+	Sched     sim.SchedMode
+	IntraJobs int
 }
 
 // Report is the outcome of one differential run.
@@ -486,6 +491,8 @@ func Run(ctx context.Context, o Options) (sim.Result, *Report, error) {
 		CheckpointPath:     o.CheckpointPath,
 		ResumeFrom:         o.ResumeFrom,
 		DisableFastForward: o.DisableFastForward,
+		Sched:              o.Sched,
+		IntraJobs:          o.IntraJobs,
 		NewDesign: func() prefetch.Design {
 			i := len(shims)
 			s := NewShim(o.NewDesign(), oracle.New(prog, sim.WalkerSeed(o.Seed, i)), i, o.Strict)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"dnc/internal/core"
@@ -16,7 +17,7 @@ import (
 // regressions. Run with:
 //
 //	go test ./internal/sim -bench BenchmarkEngine -benchtime 3x -count 3
-func benchEngine(b *testing.B, designName string) {
+func benchEngine(b *testing.B, designName string, cores int) {
 	b.Helper()
 	var entry prefetch.CatalogEntry
 	for _, e := range prefetch.Catalog() {
@@ -32,7 +33,7 @@ func benchEngine(b *testing.B, designName string) {
 	rc := RunConfig{
 		Workload:  workloads.Params("Web-Zeus", isa.Fixed),
 		NewDesign: entry.New,
-		Cores:     4,
+		Cores:     cores,
 		Core:      cc,
 		Seed:      1,
 	}
@@ -47,6 +48,69 @@ func benchEngine(b *testing.B, designName string) {
 	}
 }
 
-func BenchmarkEngineBaseline(b *testing.B) { benchEngine(b, "baseline") }
+func BenchmarkEngineBaseline(b *testing.B) { benchEngine(b, "baseline", 4) }
 
-func BenchmarkEngineSN4LDisBTB(b *testing.B) { benchEngine(b, "SN4L+Dis+BTB") }
+func BenchmarkEngineSN4LDisBTB(b *testing.B) { benchEngine(b, "SN4L+Dis+BTB", 4) }
+
+// The 16-core entries cover the paper's full-scale configuration — the one
+// ROADMAP item 4 targets, where idle fast-forward stops paying (someone is
+// almost always busy) and the engine's per-cycle cost dominates.
+func BenchmarkEngine16CoreBaseline(b *testing.B) { benchEngine(b, "baseline", 16) }
+
+func BenchmarkEngine16CoreSN4LDisBTB(b *testing.B) { benchEngine(b, "SN4L+Dis+BTB", 16) }
+
+// BenchmarkSchedModes is the engine comparison behind the EXPERIMENTS.md
+// wall-clock table: tick vs wheel vs wheel+parallel, per design, at
+// 1/4/8/16 cores. Deliberately outside the BenchmarkEngine prefix so the
+// benchdiff gate and CI smoke don't run the full matrix; invoke it (or a
+// -bench filtered slice of it) directly:
+//
+//	go test ./internal/sim -run '^$' -bench BenchmarkSchedModes -benchtime 2x -count 2
+func BenchmarkSchedModes(b *testing.B) {
+	modes := []struct {
+		name  string
+		sched SchedMode
+		intra int
+	}{
+		{"tick", SchedTick, 0},
+		{"wheel", SchedWheel, 0},
+		{"wheel+par4", SchedWheel, 4},
+	}
+	for _, designName := range []string{"baseline", "SN4L+Dis+BTB"} {
+		var entry prefetch.CatalogEntry
+		for _, e := range prefetch.Catalog() {
+			if e.Name == designName {
+				entry = e
+			}
+		}
+		for _, cores := range []int{1, 4, 8, 16} {
+			for _, m := range modes {
+				if m.intra > 1 && cores < m.intra {
+					continue // clamping would just re-measure serial wheel
+				}
+				b.Run(fmt.Sprintf("%s/%s/cores=%d", designName, m.name, cores), func(b *testing.B) {
+					cc := core.DefaultConfig()
+					cc.PrefetchBufferEntries = entry.PrefetchBufferEntries
+					rc := RunConfig{
+						Workload:  workloads.Params("Web-Zeus", isa.Fixed),
+						NewDesign: entry.New,
+						Cores:     cores,
+						Core:      cc,
+						Seed:      1,
+						Sched:     m.sched,
+						IntraJobs: m.intra,
+					}
+					Program(rc.Workload)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						r := Run(rc)
+						if r.M.Retired == 0 {
+							b.Fatal("no instructions retired")
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"dnc/internal/core"
+	"dnc/internal/isa"
+	"dnc/internal/prefetch"
+	"dnc/internal/workloads"
+)
+
+// engineVariants is the engine coverage matrix: the tick-everything
+// reference, the event-driven wheel, and the wheel with intra-run sharding.
+// Every variant must be bit-exact with every other.
+func engineVariants() []struct {
+	name string
+	set  func(*RunConfig)
+} {
+	return []struct {
+		name string
+		set  func(*RunConfig)
+	}{
+		{"tick", func(rc *RunConfig) { rc.Sched = SchedTick }},
+		{"wheel", func(rc *RunConfig) { rc.Sched = SchedWheel }},
+		{"wheel+par", func(rc *RunConfig) { rc.Sched = SchedWheel; rc.IntraJobs = 4 }},
+	}
+}
+
+// TestEngineMatrixBitExact is the tentpole's equivalence wall: across design
+// shapes and seeds, the tick reference, the wheel engine, and the sharded
+// wheel engine produce identical results — every metric counter — and
+// byte-identical checkpoint files. Checkpoint bytes are the strongest
+// available observation: they serialize the entire machine, so any engine
+// divergence in any component state shows up.
+func TestEngineMatrixBitExact(t *testing.T) {
+	for name, nd := range ffDesigns() {
+		for seed := int64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				var refPrint, refCkpt string
+				for _, v := range engineVariants() {
+					rc := checkpointConfig(t, nd)
+					rc.Seed = seed
+					if name == "shotgun" {
+						rc.Core = core.DefaultConfig()
+						rc.Core.PrefetchBufferEntries = 64
+					}
+					v.set(&rc)
+					res, err := RunChecked(context.Background(), rc)
+					if err != nil {
+						t.Fatalf("%s: %v", v.name, err)
+					}
+					ckpt, err := os.ReadFile(rc.CheckpointPath)
+					if err != nil {
+						t.Fatalf("%s: %v", v.name, err)
+					}
+					res.Engine = "" // provenance differs by construction
+					print := fingerprint(t, res)
+					if v.name == "tick" {
+						refPrint, refCkpt = print, string(ckpt)
+						continue
+					}
+					if print != refPrint {
+						t.Errorf("%s result differs from tick reference\n%s: %s\ntick: %s",
+							v.name, v.name, print, refPrint)
+					}
+					if string(ckpt) != refCkpt {
+						t.Errorf("%s checkpoint bytes differ from tick reference (%d vs %d bytes)",
+							v.name, len(ckpt), len(refCkpt))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineMatrixGOMAXPROCS pins the sharded engine's scheduling
+// independence: the same parallel run under GOMAXPROCS=1 (shards fully
+// serialized) and the test's native GOMAXPROCS produces identical results.
+// Together with the race-enabled CI job this is the determinism half of the
+// parallel-engine contract; the matrix test above is the correctness half.
+func TestEngineMatrixGOMAXPROCS(t *testing.T) {
+	rc := checkedConfig()
+	rc.Cores = 8
+	rc.WarmCycles = 6_000
+	rc.MeasureCycles = 12_000
+	rc.IntraJobs = 4
+
+	run := func() string {
+		res, err := RunChecked(context.Background(), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(t, res)
+	}
+	native := run()
+	old := runtime.GOMAXPROCS(1)
+	serialized := run()
+	runtime.GOMAXPROCS(old)
+	if native != serialized {
+		t.Fatalf("sharded run depends on GOMAXPROCS:\nnative:     %s\nserialized: %s",
+			native, serialized)
+	}
+}
+
+// TestWheelZeroAllocs extends the hot-structure contract to the wheel
+// engine: steady-state advancement — wake scheduling, sleeping, timing-wheel
+// churn included — performs zero heap allocations. The 16-core SN4L+Dis+BTB
+// configuration is the paper's full-scale machine, where the engine loop is
+// hottest.
+func TestWheelZeroAllocs(t *testing.T) {
+	var entry prefetch.CatalogEntry
+	for _, e := range prefetch.Catalog() {
+		if e.Name == "SN4L+Dis+BTB" {
+			entry = e
+		}
+	}
+	cc := core.DefaultConfig()
+	cc.PrefetchBufferEntries = entry.PrefetchBufferEntries
+	rc := applyDefaults(RunConfig{
+		Workload:  workloads.Params("Web-Zeus", isa.Fixed),
+		NewDesign: entry.New,
+		Cores:     16,
+		Core:      cc,
+	})
+	m, err := buildMachine(rc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+	if err := m.runPhase(nil, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := m.runPhase(nil, m.done+1_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state wheel advancement allocated %.2f times per 1000 machine cycles; want 0", allocs)
+	}
+}
+
+// TestWheelEngineSleeps guards against the wheel engine silently never
+// engaging (every IdleWake guard failing would make the equivalence matrix
+// vacuous): during a baseline run some core must actually be asleep on the
+// wheel at some cycle.
+func TestWheelEngineSleeps(t *testing.T) {
+	rc := applyDefaults(checkedConfig())
+	m, err := buildMachine(rc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+	slept := false
+	for i := 0; i < 20_000 && !slept; i++ {
+		m.stepWheel()
+		m.watch.cycle++
+		m.done++
+		slept = m.eng.awake < len(m.cores)
+	}
+	if !slept {
+		t.Fatal("no core ever slept on the wheel in 20K cycles of a 2-core baseline run")
+	}
+}
+
+// TestParallelRequiresWheel pins the validation contract: sharding the tick
+// reference is rejected rather than silently serialized.
+func TestParallelRequiresWheel(t *testing.T) {
+	rc := checkedConfig()
+	rc.Sched = SchedTick
+	rc.IntraJobs = 2
+	if err := rc.Validate(); err == nil {
+		t.Fatal("IntraJobs > 1 under SchedTick accepted")
+	}
+	rc.IntraJobs = -1
+	if err := rc.Validate(); err == nil {
+		t.Fatal("negative IntraJobs accepted")
+	}
+}
+
+// TestEngineStamp checks Result.Engine provenance for each variant.
+func TestEngineStamp(t *testing.T) {
+	for _, v := range engineVariants() {
+		rc := checkedConfig()
+		rc.Cores = 4
+		rc.WarmCycles = 2_000
+		rc.MeasureCycles = 2_000
+		v.set(&rc)
+		res, err := RunChecked(context.Background(), rc)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		want := map[string]string{
+			"tick": "tick", "wheel": "wheel", "wheel+par": "wheel+par4",
+		}[v.name]
+		if res.Engine != want {
+			t.Errorf("%s: Result.Engine = %q, want %q", v.name, res.Engine, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"dnc/internal/core"
 	"dnc/internal/obs"
@@ -52,6 +53,17 @@ type machineObs struct {
 
 	sampleEvery uint64
 	ckptSeq     uint64
+
+	// Shard state for the parallel engine: each core gets a private tracer
+	// and latency histograms — the only obs state written from inside Tick —
+	// merged deterministically at fold. Nil under the serial engines, which
+	// share the registry instances directly. latBounds and traceCap are kept
+	// so attach can build the shards with the same shapes as the shared
+	// instances.
+	shardTracers               []*obs.Tracer
+	shardDemand, shardPrefetch []*obs.Histogram
+	latBounds                  []uint64
+	traceCap                   int
 }
 
 func newMachineObs(cfg obs.Config) *machineObs {
@@ -61,9 +73,12 @@ func newMachineObs(cfg obs.Config) *machineObs {
 	}
 	o.tracer = obs.NewTracer(cfg.TraceEvents)
 
+	o.traceCap = cfg.TraceEvents
+
 	// Fill latencies span an L1i->local-LLC hit (tens of cycles) to a
 	// contended DRAM round trip (hundreds); geometric bounds cover both ends.
 	latBounds := obs.ExpBounds(8, 1.5, 16)
+	o.latBounds = latBounds
 	o.demandLat = o.reg.Histogram(HistDemandLat, latBounds)
 	o.prefetchLat = o.reg.Histogram(HistPrefetchLat, latBounds)
 	o.nocLat = o.reg.Histogram(HistNoCLat, obs.ExpBounds(2, 1.5, 12))
@@ -81,13 +96,33 @@ func newMachineObs(cfg obs.Config) *machineObs {
 }
 
 // attach fans the observability hooks out to every instrumented component.
+// Under the parallel engine each core gets private shard instances for the
+// state it writes from inside Tick; the uncore-side histograms stay shared —
+// they are only touched inside gated (serially ordered) sections.
 func (o *machineObs) attach(m *machine) {
-	for _, c := range m.cores {
-		c.SetObs(core.ObsHooks{
-			Tracer:      o.tracer,
-			DemandLat:   o.demandLat,
-			PrefetchLat: o.prefetchLat,
-		})
+	if m.parJobs() > 1 {
+		n := len(m.cores)
+		o.shardTracers = make([]*obs.Tracer, n)
+		o.shardDemand = make([]*obs.Histogram, n)
+		o.shardPrefetch = make([]*obs.Histogram, n)
+		for i, c := range m.cores {
+			o.shardTracers[i] = obs.NewTracer(o.traceCap)
+			o.shardDemand[i] = obs.NewHistogram(HistDemandLat, o.latBounds)
+			o.shardPrefetch[i] = obs.NewHistogram(HistPrefetchLat, o.latBounds)
+			c.SetObs(core.ObsHooks{
+				Tracer:      o.shardTracers[i],
+				DemandLat:   o.shardDemand[i],
+				PrefetchLat: o.shardPrefetch[i],
+			})
+		}
+	} else {
+		for _, c := range m.cores {
+			c.SetObs(core.ObsHooks{
+				Tracer:      o.tracer,
+				DemandLat:   o.demandLat,
+				PrefetchLat: o.prefetchLat,
+			})
+		}
 	}
 	m.uncore.Mesh.SetObs(o.nocLat)
 	m.uncore.LLC.SetObs(o.llcQueue)
@@ -143,6 +178,11 @@ func (o *machineObs) sample(m *machine) {
 func (o *machineObs) resetWindow(m *machine) {
 	o.reg.Reset()
 	o.tracer.Reset()
+	for i := range o.shardTracers {
+		o.shardTracers[i].Reset()
+		o.shardDemand[i].Reset()
+		o.shardPrefetch[i].Reset()
+	}
 	for _, c := range m.cores {
 		c.MSHRs().ResetHighWater()
 	}
@@ -162,15 +202,26 @@ func (o *machineObs) noteCheckpoint(cycle uint64) {
 }
 
 // fold closes open stall runs, snapshots the registry, and returns the
-// run's observability result.
+// run's observability result. Shard histograms merge into the registered
+// instances first — bucket sums, totals, and extrema commute, so the
+// snapshots are bit-identical to the serial engines'. The merged event
+// trace is ordered by (cycle, core): the serial single-ring interleaving is
+// not reproducible from per-core rings (span-close events are emitted late
+// with their start-cycle stamps, and each ring drops independently), so
+// Events and TraceDropped are diagnostic, not part of the bit-exactness
+// contract.
 func (o *machineObs) fold(m *machine) *obs.RunObs {
 	for i, c := range m.cores {
 		c.FlushObs()
 		o.reg.Counter(fmt.Sprintf("mshr.highwater.core%d", i)).
 			Add(uint64(c.MSHRs().HighWater()))
 	}
+	for i := range o.shardTracers {
+		o.demandLat.Merge(o.shardDemand[i])
+		o.prefetchLat.Merge(o.shardPrefetch[i])
+	}
 	hists, counters := o.reg.Snapshot()
-	return &obs.RunObs{
+	ro := &obs.RunObs{
 		Hists:        hists,
 		Counters:     counters,
 		Series:       o.reg.SeriesSnapshots(),
@@ -178,4 +229,19 @@ func (o *machineObs) fold(m *machine) *obs.RunObs {
 		TraceDropped: o.tracer.Dropped(),
 		Events:       o.tracer.Events(),
 	}
+	for i := range o.shardTracers {
+		t := o.shardTracers[i]
+		ro.TraceTotal += t.Total()
+		ro.TraceDropped += t.Dropped()
+		ro.Events = append(ro.Events, t.Events()...)
+	}
+	if o.shardTracers != nil {
+		sort.SliceStable(ro.Events, func(a, b int) bool {
+			if ro.Events[a].Cycle != ro.Events[b].Cycle {
+				return ro.Events[a].Cycle < ro.Events[b].Cycle
+			}
+			return ro.Events[a].Core < ro.Events[b].Core
+		})
+	}
+	return ro
 }

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// parEngine shards the cores of one run across IntraJobs goroutines while
+// reproducing the serial engines bit-exactly. The key invariant is the
+// serial contention order: at machine cycle T, core i's shared-fabric
+// (NoC/LLC/DRAM) requests happen after every lower tile's cycle-T requests
+// and after every higher tile's cycle-(T-1) requests. The engine enforces
+// exactly that order — and nothing more — with a per-core wavefront counter:
+//
+//	done[i] = the first cycle core i has NOT finished
+//
+// A core's first shared-fabric touch of cycle T (core.enterUncore) blocks
+// until done[j] >= T+1 for every j < i and done[j] >= T for every j > i.
+// Ticks that never touch the uncore (L1 hits, pure stalls) proceed without
+// any rendezvous, which is where the parallelism comes from. A core that
+// goes to sleep (proven pure-stall window, see core.IdleWake) publishes its
+// wake cycle as its wavefront position: it provably makes no shared-fabric
+// touch before then, so peers never wait on it.
+//
+// Deadlock freedom: order unfinished (cycle, tile) pairs lexicographically.
+// The globally minimal unfinished pair's gate condition is satisfied by
+// construction (every lower tile has finished this cycle, every higher tile
+// the previous one — otherwise one of them would be the minimum), and each
+// shard executes its own cores in exactly that lexicographic order, so the
+// minimal pair is always the next task of some shard: progress is always
+// possible.
+//
+// Epochs: the coordinator dispatches spans of cycles bounded by the same
+// window/poll/sampling boundaries as the serial engines, and joins all
+// shards at each boundary. Between epochs the machine is fully synchronized
+// and the coordinator runs the boundary work (sampling, watchdog,
+// checkpoints) exactly as the serial engines do.
+type parEngine struct {
+	m      *machine
+	shards [][]int // contiguous core-index ranges, one per goroutine
+
+	// done is the wavefront (see above): cache-line padded so the spin
+	// loads in gate don't false-share with neighbouring cores' stores.
+	done []paddedCounter
+
+	// asleep/wake mirror engineState's wheel bookkeeping per core. During an
+	// epoch each entry is owned by the core's shard; between epochs by the
+	// coordinator (the epoch channels provide the happens-before edges).
+	asleep []bool
+	wake   []uint64
+
+	start []chan span
+	acks  chan int
+	fail  atomic.Pointer[shardFailure]
+}
+
+type span struct{ from, to uint64 }
+
+type paddedCounter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// shardFailure is a panic recovered inside a shard goroutine, carried to the
+// coordinator with the shard's own stack.
+type shardFailure struct {
+	shard int
+	val   any
+	stack []byte
+}
+
+func newParEngine(m *machine, jobs int) *parEngine {
+	n := len(m.cores)
+	p := &parEngine{
+		m:      m,
+		shards: splitShards(n, jobs),
+		done:   make([]paddedCounter, n),
+		asleep: make([]bool, n),
+		wake:   make([]uint64, n),
+		acks:   make(chan int, jobs),
+	}
+	for _, c := range m.cores {
+		c.SetUncoreGate(p.gate)
+	}
+	return p
+}
+
+// splitShards partitions 0..n-1 into jobs contiguous runs, sizes differing
+// by at most one. Contiguity keeps each shard's execution order a
+// subsequence of the serial tile order.
+func splitShards(n, jobs int) [][]int {
+	shards := make([][]int, jobs)
+	base, rem := n/jobs, n%jobs
+	next := 0
+	for s := range shards {
+		size := base
+		if s < rem {
+			size++
+		}
+		ids := make([]int, size)
+		for k := range ids {
+			ids[k] = next
+			next++
+		}
+		shards[s] = ids
+	}
+	return shards
+}
+
+// reset puts every core back to awake (after a snapshot restore).
+func (p *parEngine) reset() {
+	for i := range p.asleep {
+		p.asleep[i] = false
+		p.wake[i] = 0
+	}
+}
+
+// gate blocks until every lower tile has finished the given cycle and every
+// higher tile has finished the previous one (the serial contention order).
+// Installed as every core's uncoreGate; called at most once per full Tick.
+func (p *parEngine) gate(tile int, cycle uint64) {
+	for i := range p.done {
+		if i == tile {
+			continue
+		}
+		need := cycle
+		if i < tile {
+			need = cycle + 1
+		}
+		for p.done[i].v.Load() < need {
+			// Gosched rather than a pure spin: with GOMAXPROCS=1 the peer
+			// shard can only advance if this goroutine yields.
+			runtime.Gosched()
+		}
+	}
+}
+
+// launch starts one goroutine per shard for the current phase.
+func (p *parEngine) launch() {
+	p.start = make([]chan span, len(p.shards))
+	for s := range p.shards {
+		p.start[s] = make(chan span)
+		go p.shardLoop(s)
+	}
+}
+
+// stop ends the phase: shard goroutines exit when their epoch channels
+// close. No acks are pending when stop runs (the coordinator joins every
+// epoch before moving on).
+func (p *parEngine) stop() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.start = nil
+}
+
+func (p *parEngine) shardLoop(s int) {
+	for sp := range p.start[s] {
+		p.runShardGuarded(s, sp)
+		p.acks <- s
+	}
+}
+
+// runShardGuarded funnels a shard panic to the coordinator instead of
+// killing the process: the failure (with the shard's stack) is recorded,
+// and the shard's wavefront entries are poisoned to +inf so peers blocked
+// in gate on this shard's cores drain instead of spinning forever. The
+// epoch is still acked; the coordinator aborts the run on seeing the
+// failure.
+func (p *parEngine) runShardGuarded(s int, sp span) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.fail.CompareAndSwap(nil, &shardFailure{shard: s, val: r, stack: debug.Stack()})
+			for _, i := range p.shards[s] {
+				p.done[i].v.Store(^uint64(0))
+			}
+		}
+	}()
+	if p.fail.Load() != nil {
+		return // a peer already failed; don't run on a poisoned wavefront
+	}
+	p.runShard(s, sp.from, sp.to)
+}
+
+// runShard executes the shard's cores through [from, to): the exact per-core
+// logic of stepWheel, with the wheel replaced by the per-core wake scan
+// (shards cannot share a wheel) and the wavefront published after each tick.
+func (p *parEngine) runShard(s int, from, to uint64) {
+	m := p.m
+	for cyc := from; cyc < to; cyc++ {
+		for _, i := range p.shards[s] {
+			if p.asleep[i] {
+				if p.wake[i] != cyc {
+					continue
+				}
+				c := m.cores[i]
+				if lag := cyc - c.Cycle(); lag > 0 {
+					c.FastForward(lag)
+				}
+				p.asleep[i] = false
+			}
+			c := m.cores[i]
+			c.Tick()
+			if w := c.IdleWake(); w > c.Cycle() {
+				p.asleep[i] = true
+				p.wake[i] = w
+				p.done[i].v.Store(w)
+			} else {
+				p.done[i].v.Store(cyc + 1)
+			}
+		}
+	}
+}
+
+// runPhasePar is the coordinator loop: dispatch bounded epochs to the shard
+// goroutines, join them, and run the boundary work serially — landing on
+// exactly the same boundaries, with exactly the same machine state, as the
+// serial engines.
+func (m *machine) runPhasePar(ctx context.Context, total uint64) error {
+	p := m.eng.par
+	p.launch()
+	defer p.stop()
+	for m.done < total {
+		var n uint64
+		awake := 0
+		for i := range p.asleep {
+			if !p.asleep[i] {
+				awake++
+			}
+		}
+		if awake == 0 {
+			n = m.parSleepLen(total)
+		}
+		if n > 0 {
+			m.watch.cycle += n
+			m.done += n
+		} else {
+			cur := m.watch.cycle
+			length := m.epochLen(total)
+			for i := range p.done {
+				if p.asleep[i] {
+					p.done[i].v.Store(p.wake[i])
+				} else {
+					p.done[i].v.Store(cur)
+				}
+			}
+			for _, ch := range p.start {
+				ch <- span{cur, cur + length}
+			}
+			for range p.start {
+				<-p.acks
+			}
+			if f := p.fail.Load(); f != nil {
+				return fmt.Errorf("sim: shard %d panicked during cycles [%d,%d): %v\nshard stack:\n%s",
+					f.shard, cur, cur+length, f.val, f.stack)
+			}
+			m.watch.cycle += length
+			m.done += length
+		}
+		if m.obs != nil && m.watch.cycle%m.obs.sampleEvery == 0 {
+			m.obs.sample(m)
+		}
+		if m.watch.cycle%checkEvery == 0 {
+			m.syncCores()
+			if err := m.pollBoundary(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	m.syncCores()
+	return nil
+}
+
+// epochLen bounds the next epoch: up to the nearest of the window end, the
+// next poll boundary, and the next sampling boundary — the points where the
+// serial engines observe machine state, so the coordinator must join there.
+func (m *machine) epochLen(total uint64) uint64 {
+	cur := m.watch.cycle
+	n := total - m.done
+	if r := checkEvery - cur%checkEvery; n > r {
+		n = r
+	}
+	if m.obs != nil {
+		if r := m.obs.sampleEvery - cur%m.obs.sampleEvery; n > r {
+			n = r
+		}
+	}
+	return n
+}
+
+// parSleepLen mirrors sleepLen with the wake times read from the per-core
+// table instead of the wheel.
+func (m *machine) parSleepLen(total uint64) uint64 {
+	p := m.eng.par
+	wake := ^uint64(0)
+	for i := range p.asleep {
+		if p.wake[i] < wake {
+			wake = p.wake[i]
+		}
+	}
+	cur := m.watch.cycle
+	if wake <= cur {
+		return 0
+	}
+	n := wake - cur
+	if r := total - m.done; n > r {
+		n = r
+	}
+	if r := checkEvery - cur%checkEvery; n > r {
+		n = r
+	}
+	if m.obs != nil {
+		if r := m.obs.sampleEvery - cur%m.obs.sampleEvery; n > r {
+			n = r
+		}
+	}
+	return n
+}

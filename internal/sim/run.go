@@ -13,6 +13,7 @@ import (
 	"dnc/internal/llc"
 	"dnc/internal/noc"
 	"dnc/internal/prefetch"
+	"dnc/internal/sched"
 )
 
 // DefaultWatchdogCycles is the livelock threshold used when
@@ -101,6 +102,15 @@ func (rc RunConfig) Validate() error {
 	}
 	if rc.CheckpointEvery > 0 && rc.CheckpointPath == "" {
 		return errors.New("sim: CheckpointEvery set without CheckpointPath")
+	}
+	if rc.IntraJobs < 0 {
+		return fmt.Errorf("sim: IntraJobs = %d is negative", rc.IntraJobs)
+	}
+	if rc.IntraJobs > 1 && rc.Sched == SchedTick {
+		return errors.New("sim: IntraJobs > 1 requires the wheel engine (the tick reference is strictly serial)")
+	}
+	if rc.Sched > SchedTick {
+		return fmt.Errorf("sim: unknown Sched mode %d", rc.Sched)
 	}
 	return nil
 }
@@ -256,11 +266,32 @@ type machine struct {
 	phase    uint8
 	done     uint64
 	lastCkpt uint64
+
+	// eng is the engine-loop state (wake schedule, sleep flags, parallel
+	// shards). It is derived state, never checkpointed: cores are synced to
+	// the global clock at every snapshot, and a restored machine starts with
+	// every core awake, so checkpoint bytes are identical across engines.
+	eng engineState
+}
+
+// engineState carries the wheel engine's per-core wake bookkeeping and, when
+// IntraJobs > 1, the sharded-parallel executor.
+type engineState struct {
+	mode SchedMode
+	// wheel holds one entry per sleeping core, keyed by the cycle of its
+	// next required full Tick (core.IdleWake). Nil under SchedTick.
+	wheel  *sched.Wheel
+	asleep []bool
+	awake  int
+	par    *parEngine
 }
 
 func buildMachine(rc RunConfig, mk streamMaker) (*machine, error) {
 	if mk != nil && (rc.CheckpointEvery > 0 || rc.ResumeFrom != "") {
 		return nil, ErrTraceCheckpoint
+	}
+	if mk != nil && rc.IntraJobs > 1 {
+		return nil, errors.New("sim: intra-run parallelism requires a walker-driven run")
 	}
 	m := &machine{rc: rc, prog: Program(rc.Workload)}
 	m.uncore = core.NewUncore(rc.LLC)
@@ -305,7 +336,60 @@ func buildMachine(rc RunConfig, mk streamMaker) (*machine, error) {
 		m.obs = newMachineObs(*rc.Obs)
 		m.obs.attach(m)
 	}
+	m.initEngine()
 	return m, nil
+}
+
+// parJobs returns the effective shard count: IntraJobs clamped to the core
+// count, 1 (serial) when unset.
+func (m *machine) parJobs() int {
+	j := m.rc.IntraJobs
+	if j > len(m.cores) {
+		j = len(m.cores)
+	}
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// initEngine builds the engine-loop state for the configured mode.
+func (m *machine) initEngine() {
+	m.eng.mode = m.rc.Sched
+	if m.eng.mode == SchedTick {
+		return
+	}
+	m.eng.wheel = sched.NewWheel(len(m.cores))
+	m.eng.asleep = make([]bool, len(m.cores))
+	m.eng.awake = len(m.cores)
+	if j := m.parJobs(); j > 1 {
+		m.eng.par = newParEngine(m, j)
+	}
+}
+
+// resetEngine rebuilds the derived wake state with every core awake (after a
+// snapshot restore: cores come back with idleWake unset, so the first full
+// Tick recomputes their schedules).
+func (m *machine) resetEngine() {
+	if m.eng.mode == SchedTick {
+		return
+	}
+	m.eng.wheel = sched.NewWheel(len(m.cores))
+	for i := range m.eng.asleep {
+		m.eng.asleep[i] = false
+	}
+	m.eng.awake = len(m.cores)
+	if m.eng.par != nil {
+		m.eng.par.reset()
+	}
+}
+
+// engineName is the provenance stamp for Result.Engine.
+func (m *machine) engineName() string {
+	if m.eng.par != nil {
+		return fmt.Sprintf("wheel+par%d", len(m.eng.par.shards))
+	}
+	return m.eng.mode.String()
 }
 
 func (m *machine) close() {
@@ -341,12 +425,65 @@ func (m *machine) run(ctx context.Context) error {
 	return m.auditNow()
 }
 
-// runPhase advances all cores until the current window holds total cycles,
-// polling the context, the watchdog, and the checkpoint cadence every
-// checkEvery cycles. When every core is provably idle (see skipLen) the
-// whole machine jumps to the earliest wakeup instead of ticking through the
-// stall cycle by cycle.
+// runPhase advances the machine until the current window holds total
+// cycles, dispatching to the configured engine. All engines land exactly on
+// the same boundaries — window end, checkEvery poll (context, watchdog,
+// checkpoint cadence), observability sampling — and produce bit-identical
+// machine state at each of them, so the choice of engine is invisible to
+// everything downstream.
 func (m *machine) runPhase(ctx context.Context, total uint64) error {
+	var err error
+	switch {
+	case m.eng.par != nil:
+		err = m.runPhasePar(ctx, total)
+	case m.eng.mode == SchedTick:
+		err = m.runPhaseTick(ctx, total)
+	default:
+		err = m.runPhaseWheel(ctx, total)
+	}
+	if err == nil {
+		// Window boundaries rarely land on the checkEvery cadence, so report
+		// the final cycle explicitly: a progress observer sees the window
+		// complete instead of stalling checkEvery-1 cycles short. (A cadence
+		// coincidence means one repeated report; OnAdvance is idempotent by
+		// contract.)
+		if f := m.rc.OnAdvance; f != nil {
+			f(m.watch.cycle)
+		}
+	}
+	return err
+}
+
+// pollBoundary runs the checkEvery-cadence work shared by every engine:
+// progress callback, context poll, watchdog, and checkpoint cadence. Cores
+// must be synced to the global clock before calling it.
+func (m *machine) pollBoundary(ctx context.Context) error {
+	if f := m.rc.OnAdvance; f != nil {
+		f(m.watch.cycle)
+	}
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("run aborted at cycle %d: %w", m.watch.cycle, ctx.Err())
+		default:
+		}
+	}
+	if err := m.watch.check(); err != nil {
+		return m.dumpLivelock(err)
+	}
+	if m.rc.CheckpointEvery > 0 && m.watch.cycle-m.lastCkpt >= m.rc.CheckpointEvery {
+		if err := m.checkpoint(); err != nil {
+			return err
+		}
+		m.lastCkpt = m.watch.cycle
+	}
+	return nil
+}
+
+// runPhaseTick is the PR 5 reference engine: every core is visited every
+// cycle, and the whole machine jumps only when every core is provably idle
+// at once (see skipLen).
+func (m *machine) runPhaseTick(ctx context.Context, total uint64) error {
 	for m.done < total {
 		if n := m.skipLen(total); n > 0 {
 			for _, c := range m.cores {
@@ -365,25 +502,125 @@ func (m *machine) runPhase(ctx context.Context, total uint64) error {
 			m.obs.sample(m)
 		}
 		if m.watch.cycle%checkEvery == 0 {
-			if ctx != nil {
-				select {
-				case <-ctx.Done():
-					return fmt.Errorf("run aborted at cycle %d: %w", m.watch.cycle, ctx.Err())
-				default:
-				}
-			}
-			if err := m.watch.check(); err != nil {
-				return m.dumpLivelock(err)
-			}
-			if m.rc.CheckpointEvery > 0 && m.watch.cycle-m.lastCkpt >= m.rc.CheckpointEvery {
-				if err := m.checkpoint(); err != nil {
-					return err
-				}
-				m.lastCkpt = m.watch.cycle
+			if err := m.pollBoundary(ctx); err != nil {
+				return err
 			}
 		}
 	}
 	return nil
+}
+
+// runPhaseWheel is the event-driven engine. Each core that reports a proven
+// pure-stall window (core.IdleWake) goes to sleep on the timing wheel until
+// the cycle of its next required full Tick; a machine cycle touches only
+// awake cores, and an all-asleep machine jumps straight to the earliest
+// scheduled wake. Sleeping cores lag the global clock — their pure-stall
+// charge is applied in one FastForward at wake or at the next sync point
+// (poll boundary, window end), which is bit-exact because the charge is
+// additive and the coalesced stall span is cause-keyed, not call-keyed.
+func (m *machine) runPhaseWheel(ctx context.Context, total uint64) error {
+	e := &m.eng
+	for m.done < total {
+		var n uint64
+		if e.awake == 0 {
+			n = m.sleepLen(total)
+		}
+		if n > 0 {
+			// Every core sleeps strictly past this span: only the global
+			// clock moves; the lag is settled at wake or at a sync point.
+			m.watch.cycle += n
+			m.done += n
+		} else {
+			m.stepWheel()
+			m.watch.cycle++
+			m.done++
+		}
+		if m.obs != nil && m.watch.cycle%m.obs.sampleEvery == 0 {
+			// Gauges and retirement are frozen during a pure-stall window, so
+			// sampling lagged sleeping cores reads exactly the values the
+			// tick engine would have seen at this cycle.
+			m.obs.sample(m)
+		}
+		if m.watch.cycle%checkEvery == 0 {
+			m.syncCores()
+			if err := m.pollBoundary(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	m.syncCores()
+	return nil
+}
+
+// stepWheel executes one machine cycle under the wheel engine: wake every
+// core scheduled for this cycle (settling its lagged pure-stall span in one
+// FastForward), full-tick the awake cores in tile order (the serial
+// contention order), and put any core whose next required tick lies in the
+// future to sleep.
+func (m *machine) stepWheel() {
+	e := &m.eng
+	now := m.watch.cycle
+	for _, id := range e.wheel.AdvanceTo(now) {
+		c := m.cores[id]
+		if lag := now - c.Cycle(); lag > 0 {
+			c.FastForward(lag)
+		}
+		e.asleep[id] = false
+		e.awake++
+	}
+	for i, c := range m.cores {
+		if e.asleep[i] {
+			continue
+		}
+		c.Tick()
+		if w := c.IdleWake(); w > c.Cycle() {
+			e.asleep[i] = true
+			e.awake--
+			e.wheel.Schedule(i, w)
+		}
+	}
+}
+
+// sleepLen returns how far the machine may jump when every core is asleep:
+// the distance to the earliest scheduled wake, clamped to the same window,
+// poll, and sampling boundaries as skipLen. Zero means a wake is due on the
+// current cycle and the machine must step.
+func (m *machine) sleepLen(total uint64) uint64 {
+	wake, ok := m.eng.wheel.Next()
+	if !ok {
+		panic("sim: every core asleep with an empty wake schedule")
+	}
+	cur := m.watch.cycle
+	if wake <= cur {
+		return 0
+	}
+	n := wake - cur
+	if r := total - m.done; n > r {
+		n = r
+	}
+	if r := checkEvery - cur%checkEvery; n > r {
+		n = r
+	}
+	if m.obs != nil {
+		if r := m.obs.sampleEvery - cur%m.obs.sampleEvery; n > r {
+			n = r
+		}
+	}
+	return n
+}
+
+// syncCores settles every sleeping core's lagged pure-stall span up to the
+// global clock. Sync points (poll boundaries, window ends) are exactly where
+// the machine's state is observed — watchdog snapshots, checkpoints, metric
+// resets, results — so after a sync the wheel and tick engines are
+// bit-identical.
+func (m *machine) syncCores() {
+	target := m.watch.cycle
+	for _, c := range m.cores {
+		if lag := target - c.Cycle(); lag > 0 {
+			c.FastForward(lag)
+		}
+	}
 }
 
 // skipLen returns how many cycles the whole machine may fast-forward right
@@ -452,6 +689,7 @@ func (m *machine) result() Result {
 	res := Result{
 		Workload:    m.rc.Workload.Name,
 		Design:      m.designs[0].Name(),
+		Engine:      m.engineName(),
 		PerCore:     make([]core.Metrics, m.rc.Cores),
 		LLCStats:    m.uncore.LLC.Stats(),
 		NoCFlits:    m.uncore.Mesh.Flits(),

@@ -30,7 +30,7 @@ type Progress struct {
 	resumed int
 	// retried counts extra attempts beyond each cell's first.
 	retried int
-	running map[string]time.Time
+	running map[string]*cellRun
 
 	journalAppends int
 	journalPending int
@@ -41,9 +41,16 @@ type Progress struct {
 	observer func(CellResult)
 }
 
+// cellRun is one in-flight cell: when it started, and the last simulated
+// cycle its engine reported through RunConfig.OnAdvance.
+type cellRun struct {
+	at    time.Time
+	cycle uint64
+}
+
 // NewProgress returns an empty tracker; the clock starts now.
 func NewProgress() *Progress {
-	return &Progress{start: time.Now(), running: make(map[string]time.Time)}
+	return &Progress{start: time.Now(), running: make(map[string]*cellRun)}
 }
 
 // addTotal grows the expected cell count (called once per Sweep).
@@ -62,7 +69,22 @@ func (p *Progress) begin(id string) {
 		return
 	}
 	p.mu.Lock()
-	p.running[id] = time.Now()
+	p.running[id] = &cellRun{at: time.Now()}
+	p.mu.Unlock()
+}
+
+// advance records how far a running cell's simulation has progressed. The
+// engine reports through RunConfig.OnAdvance at its poll cadence (every
+// ~1K simulated cycles), so the per-call cost of the mutex is immaterial.
+// Unknown IDs (a poll racing the cell's own completion) are ignored.
+func (p *Progress) advance(id string, cycle uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if r, ok := p.running[id]; ok {
+		r.cycle = cycle
+	}
 	p.mu.Unlock()
 }
 
@@ -125,6 +147,11 @@ type ProgressSnapshot struct {
 	Retried int `json:"retried"`
 	// Running lists in-flight cell IDs, longest-running first.
 	Running []string `json:"running,omitempty"`
+	// RunningCycles maps each in-flight cell to the simulated cycle its
+	// engine last reported (RunConfig.OnAdvance), so a long paper-scale cell
+	// is visibly moving between /debug/sweep polls instead of looking hung.
+	// Cells whose engine has not yet reached a poll boundary report 0.
+	RunningCycles map[string]uint64 `json:"running_cycles,omitempty"`
 	// JournalAppends and JournalPending give the journal's durability lag:
 	// records written this sweep and how many of them await an fsync.
 	JournalAppends int           `json:"journal_appends"`
@@ -154,12 +181,18 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		at time.Time
 	}
 	run := make([]rc, 0, len(p.running))
-	for id, at := range p.running {
-		run = append(run, rc{id, at})
+	for id, r := range p.running {
+		run = append(run, rc{id, r.at})
 	}
 	sort.Slice(run, func(i, j int) bool { return run[i].at.Before(run[j].at) })
 	for _, r := range run {
 		s.Running = append(s.Running, r.id)
+	}
+	if len(p.running) > 0 {
+		s.RunningCycles = make(map[string]uint64, len(p.running))
+		for id, r := range p.running {
+			s.RunningCycles[id] = r.cycle
+		}
 	}
 	if sec := s.Elapsed.Seconds(); sec > 0 && s.Done > 0 {
 		s.CellsPerSec = float64(s.Done) / sec

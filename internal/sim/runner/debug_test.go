@@ -48,6 +48,34 @@ func TestProgressTally(t *testing.T) {
 	}
 }
 
+func TestProgressRunningCycles(t *testing.T) {
+	p := NewProgress()
+	p.advance("ghost", 99) // before begin: ignored, not resurrected
+	p.begin("a")
+	p.begin("b")
+	p.advance("a", 1024)
+	p.advance("a", 2048) // monotone updates overwrite
+	s := p.Snapshot()
+	if got := s.RunningCycles["a"]; got != 2048 {
+		t.Errorf("RunningCycles[a] = %d, want 2048", got)
+	}
+	if got := s.RunningCycles["b"]; got != 0 {
+		t.Errorf("RunningCycles[b] = %d, want 0 before its first poll", got)
+	}
+	if _, ok := s.RunningCycles["ghost"]; ok {
+		t.Error("advance before begin created a running entry")
+	}
+	p.observe(CellResult{ID: "a", Status: StatusOK})
+	p.advance("a", 4096) // after completion: ignored
+	if s := p.Snapshot(); len(s.RunningCycles) != 1 || s.RunningCycles["b"] != 0 {
+		t.Errorf("RunningCycles after a finished = %v, want only b", s.RunningCycles)
+	}
+	p.observe(CellResult{ID: "b", Status: StatusOK})
+	if s := p.Snapshot(); s.RunningCycles != nil {
+		t.Errorf("RunningCycles with nothing running = %v, want nil", s.RunningCycles)
+	}
+}
+
 func TestProgressRunningOrder(t *testing.T) {
 	p := NewProgress()
 	p.begin("first")

@@ -34,8 +34,11 @@ type journalEntry struct {
 // encoding is deterministic (fixed field order, no maps except inside Obs,
 // which encoding/json sorts), so equal results give equal digests.
 type ResultJSON struct {
-	Workload    string         `json:"workload"`
-	Design      string         `json:"design"`
+	Workload string `json:"workload"`
+	Design   string `json:"design"`
+	// Engine stamps which engine produced the run ("tick", "wheel",
+	// "wheel+parN"); provenance only — all engines are bit-exact.
+	Engine      string         `json:"engine,omitempty"`
 	M           core.Metrics   `json:"m"`
 	PerCore     []core.Metrics `json:"per_core,omitempty"`
 	LLCStats    llc.Stats      `json:"llc"`
@@ -53,6 +56,7 @@ func NewResultJSON(r sim.Result) *ResultJSON {
 	return &ResultJSON{
 		Workload:    r.Workload,
 		Design:      r.Design,
+		Engine:      r.Engine,
 		M:           r.M,
 		PerCore:     r.PerCore,
 		LLCStats:    r.LLCStats,
@@ -69,6 +73,7 @@ func (jr *ResultJSON) Result() sim.Result {
 	return sim.Result{
 		Workload:    jr.Workload,
 		Design:      jr.Design,
+		Engine:      jr.Engine,
 		M:           jr.M,
 		PerCore:     jr.PerCore,
 		LLCStats:    jr.LLCStats,

@@ -366,6 +366,18 @@ func runCell(ctx context.Context, c Cell, o Options) CellResult {
 			break
 		}
 		cfg := c.Config
+		if p := o.Progress; p != nil {
+			// Feed the engine's poll-boundary cycle reports into the live
+			// progress tracker (/debug/sweep, the -http vars), chaining any
+			// callback the cell's own config installed.
+			id, prev := c.ID, cfg.OnAdvance
+			cfg.OnAdvance = func(cycle uint64) {
+				p.advance(id, cycle)
+				if prev != nil {
+					prev(cycle)
+				}
+			}
+		}
 		if ckpt != "" {
 			if _, serr := os.Stat(ckpt); serr == nil {
 				cfg.ResumeFrom = ckpt

@@ -116,6 +116,43 @@ func TestSweepIsolatesPanicAndLivelock(t *testing.T) {
 	}
 }
 
+// TestSweepReportsAdvance pins the live-progress wiring: the engine's
+// OnAdvance poll reports flow into Progress.RunningCycles while the cell
+// runs, a callback the cell's own config installed still fires (chained
+// after the tracker update, so it observes its own cycle in the snapshot),
+// and the final report covers the full warm+measure span even though the
+// window end is not a checkEvery multiple.
+func TestSweepReportsAdvance(t *testing.T) {
+	p := NewProgress()
+	var last atomic.Uint64
+	var tracked atomic.Bool
+	tracked.Store(true)
+	cell := Cell{ID: "adv", Config: testConfig(0, newBaseline)}
+	cell.Config.OnAdvance = func(cycle uint64) {
+		if cycle < last.Load() {
+			t.Errorf("OnAdvance went backwards: %d after %d", cycle, last.Load())
+		}
+		last.Store(cycle)
+		if p.Snapshot().RunningCycles["adv"] != cycle {
+			tracked.Store(false)
+		}
+	}
+	rep, err := Sweep(context.Background(), []Cell{cell}, Options{Progress: p})
+	if err != nil || rep.OK != 1 {
+		t.Fatalf("sweep: ok=%d err=%v", rep.OK, err)
+	}
+	total := cell.Config.WarmCycles + cell.Config.MeasureCycles
+	if last.Load() != total {
+		t.Errorf("final OnAdvance cycle = %d, want the full span %d", last.Load(), total)
+	}
+	if !tracked.Load() {
+		t.Error("Progress.RunningCycles lagged the chained OnAdvance callback")
+	}
+	if s := p.Snapshot(); len(s.RunningCycles) != 0 {
+		t.Errorf("RunningCycles after the sweep = %v, want empty", s.RunningCycles)
+	}
+}
+
 func TestSweepJournalResume(t *testing.T) {
 	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
 	var built atomic.Int64

@@ -9,6 +9,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -18,6 +19,43 @@ import (
 	"dnc/internal/obs"
 	"dnc/internal/prefetch"
 )
+
+// SchedMode selects the engine that advances the machine through a window.
+type SchedMode uint8
+
+const (
+	// SchedWheel (the default) is the event-driven engine: each core's
+	// idleWake is generalized into a per-core wake schedule on a hierarchical
+	// timing wheel (internal/sched), so a cycle only touches cores with work
+	// at that cycle and an all-asleep machine jumps straight to the earliest
+	// wake. Bit-exact with SchedTick by construction.
+	SchedWheel SchedMode = iota
+	// SchedTick is the PR 5 reference engine: every core is visited every
+	// cycle (with the whole-machine jump only when all cores are idle at
+	// once). It exists as the metamorphic reference for the equivalence
+	// tests and for engine debugging, mirroring DisableFastForward.
+	SchedTick
+)
+
+// String names the mode as stamped into Result.Engine.
+func (s SchedMode) String() string {
+	if s == SchedTick {
+		return "tick"
+	}
+	return "wheel"
+}
+
+// ParseSchedMode maps an engine name ("wheel", "tick") to its mode; it is
+// the single parser behind every CLI -sched flag.
+func ParseSchedMode(s string) (SchedMode, error) {
+	switch s {
+	case "wheel", "":
+		return SchedWheel, nil
+	case "tick":
+		return SchedTick, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (want wheel or tick)", s)
+}
 
 // RunConfig describes one simulation.
 type RunConfig struct {
@@ -71,12 +109,33 @@ type RunConfig struct {
 	// and checkpoint bytes — so this exists only as the metamorphic reference
 	// for the equivalence tests and for engine debugging.
 	DisableFastForward bool
+	// Sched selects the engine loop: the event-driven wheel scheduler (zero
+	// value, default) or the tick-everything reference. Both produce
+	// bit-identical results; see SchedMode.
+	Sched SchedMode
+	// IntraJobs, when > 1, shards the cores of this one run across that many
+	// goroutines with a deterministic rendezvous before every shared-fabric
+	// (NoC/LLC/DRAM) touch, so results are bit-identical to the serial
+	// engines regardless of GOMAXPROCS. 0 or 1 runs serially. Requires the
+	// wheel engine (the tick reference stays strictly serial) and a
+	// walker-driven run. Values above the core count are clamped.
+	IntraJobs int
+	// OnAdvance, when non-nil, is called at every engine poll boundary (the
+	// checkEvery cadence and the end of each window) with the global cycle
+	// the machine has actually advanced to — including cycles covered by
+	// fast-forward jumps. Progress reporting hooks onto this; it must be
+	// cheap and must not touch the machine.
+	OnAdvance func(cycle uint64)
 }
 
 // Result is the outcome of one simulation run.
 type Result struct {
 	Workload string
 	Design   string
+	// Engine names the engine that produced the run ("tick", "wheel", or
+	// "wheel+parN" for the sharded-parallel wheel). All engines are
+	// bit-exact, so this is provenance, not a cache key.
+	Engine string
 	// M aggregates all cores' measurement-window metrics.
 	M core.Metrics
 	// PerCore holds each core's metrics.

@@ -3,10 +3,11 @@
 #
 # Two gated suites:
 #
-#   engine       internal/sim BenchmarkEngineBaseline + BenchmarkEngineSN4LDisBTB
-#                (the default 4-core 200K+200K configuration under the
-#                no-prefetch baseline and the paper's headline design),
-#                compared against BENCH_engine.json.
+#   engine       internal/sim BenchmarkEngine{,16Core}{Baseline,SN4LDisBTB}
+#                (the 200K+200K windows under the no-prefetch baseline and
+#                the paper's headline design, at 4 cores and at the paper's
+#                full 16-core scale where the engine's per-cycle cost
+#                dominates), compared against BENCH_engine.json.
 #   resultstore  internal/resultstore BenchmarkSeriesEncode + BenchmarkSeriesDecode
 #                (the store's time-series codec hot paths: delta-of-delta
 #                timestamps + Gorilla XOR values), compared against
@@ -110,7 +111,8 @@ run_suite() {
 }
 
 run_suite engine ./internal/sim/ BenchmarkEngine BENCH_engine.json \
-	BenchmarkEngineBaseline BenchmarkEngineSN4LDisBTB
+	BenchmarkEngineBaseline BenchmarkEngineSN4LDisBTB \
+	BenchmarkEngine16CoreBaseline BenchmarkEngine16CoreSN4LDisBTB
 
 run_suite resultstore ./internal/resultstore/ \
 	'^(BenchmarkSeriesEncode|BenchmarkSeriesDecode)$' BENCH_resultstore.json \
